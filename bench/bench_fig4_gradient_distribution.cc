@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates Fig. 4: the per-Gaussian gradient-magnitude distribution
+ * during tracking. Expected shape: heavily skewed — a small fraction
+ * of Gaussians (paper: top 14%) carries the bulk of the gradient mass,
+ * motivating adaptive pruning.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "core/importance.hh"
+
+int
+main()
+{
+    using namespace rtgs;
+    using namespace rtgs::bench;
+
+    printBenchHeader("Fig. 4: Gaussian gradient distribution during "
+                     "tracking (MonoGS-like, TUM-like)");
+
+    data::SyntheticDataset dataset(
+        benchSpec(data::DatasetSpec::tumLike(benchScale())));
+    core::RtgsSlamConfig cfg = benchConfig(slam::BaseAlgorithm::MonoGs);
+    cfg.enablePruning = false;
+    cfg.enableDownsampling = false;
+
+    core::RtgsSlam rtgs(cfg, dataset.intrinsics());
+    std::vector<Real> scores;
+    rtgs.setExternalTrackHook(
+        [&](const slam::TrackIterationContext &ctx) {
+            core::accumulateScores(
+                scores, core::importanceScores(ctx.backward->grads));
+        });
+    for (u32 f = 0; f < dataset.frameCount(); ++f)
+        rtgs.processFrame(dataset.frame(f));
+
+    // Log-scale histogram of gradient magnitudes (Fig. 4's x axis).
+    Histogram hist(-4, 1, 10); // log10 bins 1e-4 .. 1e1
+    size_t zero = 0;
+    for (Real s : scores) {
+        if (s <= 0) {
+            ++zero;
+            continue;
+        }
+        hist.add(std::log10(static_cast<double>(s)));
+    }
+
+    TablePrinter table({"gradient magnitude", "Gaussians"});
+    table.addRow({"0 (never touched)", std::to_string(zero)});
+    for (size_t b = 0; b < hist.bins(); ++b) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "1e%+.1f .. 1e%+.1f",
+                      hist.binLo(b), hist.binHi(b));
+        table.addRow({label, std::to_string(hist.binCount(b))});
+    }
+    table.print();
+
+    double top14 = core::topFractionMass(scores, 0.14);
+    double top50 = core::topFractionMass(scores, 0.50);
+    std::printf("\ngradient mass carried by the top 14%% of Gaussians: "
+                "%.0f%%\n", top14 * 100);
+    std::printf("gradient mass carried by the top 50%% of Gaussians: "
+                "%.0f%%\n", top50 * 100);
+    std::printf("\nShape check vs paper Fig. 4: the distribution is "
+                "heavily skewed; the paper\nfinds the top 14%% carrying "
+                "the majority of the gradient magnitude.\n");
+    return 0;
+}

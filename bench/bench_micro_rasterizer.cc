@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the rasterizer kernels
+ * (projection, tile intersection, depth sort, forward rasterisation,
+ * backward pass) across scene sizes — the per-kernel costs behind
+ * every harness in this directory.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "data/scene.hh"
+#include "gs/render_pipeline.hh"
+
+namespace
+{
+
+using namespace rtgs;
+
+struct Fixture
+{
+    gs::GaussianCloud cloud;
+    Camera camera;
+    gs::RenderSettings settings;
+
+    explicit Fixture(double spacing)
+    {
+        data::SceneConfig cfg;
+        cfg.surfelSpacing = static_cast<Real>(spacing);
+        cloud = data::buildScene(cfg);
+        camera = Camera(Intrinsics::fromFov(1.3f, 320, 240),
+                        SE3::lookAt({1.0f, -0.3f, 0.4f}, {0, 0, 0}));
+    }
+};
+
+Fixture &
+fixtureFor(double spacing)
+{
+    static Fixture coarse(0.35);
+    static Fixture medium(0.22);
+    static Fixture fine(0.15);
+    if (spacing > 0.3)
+        return coarse;
+    if (spacing > 0.18)
+        return medium;
+    return fine;
+}
+
+double
+spacingForRange(i64 arg)
+{
+    return arg == 0 ? 0.35 : arg == 1 ? 0.22 : 0.15;
+}
+
+void
+BM_Projection(benchmark::State &state)
+{
+    Fixture &f = fixtureFor(spacingForRange(state.range(0)));
+    for (auto _ : state) {
+        auto proj = gs::projectGaussians(f.cloud, f.camera, f.settings);
+        benchmark::DoNotOptimize(proj.items.data());
+    }
+    state.counters["gaussians"] = static_cast<double>(f.cloud.size());
+}
+
+void
+BM_TileIntersection(benchmark::State &state)
+{
+    Fixture &f = fixtureFor(spacingForRange(state.range(0)));
+    auto proj = gs::projectGaussians(f.cloud, f.camera, f.settings);
+    gs::TileGrid grid(320, 240, f.settings.tileSize);
+    for (auto _ : state) {
+        auto bins = gs::intersectTiles(proj, grid);
+        benchmark::DoNotOptimize(bins.lists.data());
+    }
+}
+
+void
+BM_DepthSort(benchmark::State &state)
+{
+    Fixture &f = fixtureFor(spacingForRange(state.range(0)));
+    auto proj = gs::projectGaussians(f.cloud, f.camera, f.settings);
+    gs::TileGrid grid(320, 240, f.settings.tileSize);
+    auto bins = gs::intersectTiles(proj, grid);
+    for (auto _ : state) {
+        auto copy = bins;
+        gs::sortTilesByDepth(copy, proj);
+        benchmark::DoNotOptimize(copy.lists.data());
+    }
+}
+
+void
+BM_ForwardRaster(benchmark::State &state)
+{
+    Fixture &f = fixtureFor(spacingForRange(state.range(0)));
+    gs::RenderPipeline pipe(f.settings);
+    for (auto _ : state) {
+        auto ctx = pipe.forward(f.cloud, f.camera);
+        benchmark::DoNotOptimize(ctx.result.image.data());
+    }
+}
+
+void
+BM_Backward(benchmark::State &state)
+{
+    Fixture &f = fixtureFor(spacingForRange(state.range(0)));
+    gs::RenderPipeline pipe(f.settings);
+    auto ctx = pipe.forward(f.cloud, f.camera);
+    ImageRGB adj(320, 240, {0.3f, -0.2f, 0.1f});
+    for (auto _ : state) {
+        auto back = pipe.backward(f.cloud, ctx, adj, nullptr, true);
+        benchmark::DoNotOptimize(back.grads.dPositions.data());
+    }
+}
+
+BENCHMARK(BM_Projection)->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TileIntersection)->DenseRange(0, 2)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DepthSort)->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ForwardRaster)->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Backward)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Table 4: the RTGS plug-in architecture configuration.
+ * Static by construction — this harness prints the configuration the
+ * timing models actually use, so drift between the two is impossible.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "hw/config.hh"
+
+int
+main()
+{
+    using namespace rtgs;
+    using namespace rtgs::hw;
+
+    std::printf("== Table 4: RTGS architecture configuration ==\n\n");
+    RtgsHwConfig cfg = RtgsHwConfig::paper();
+
+    TablePrinter top({"parameter", "value"});
+    top.addRow({"Technology node",
+                std::to_string(cfg.technologyNm) + " nm"});
+    top.addRow({"Operating freq.",
+                TablePrinter::num(cfg.clockGhz * 1000, 0) + " MHz"});
+    top.addRow({"Power", TablePrinter::num(cfg.powerWatts) + " W"});
+    top.addRow({"Area", TablePrinter::num(cfg.areaMm2) + " mm^2"});
+    top.print();
+
+    TablePrinter compute({"compute resource", "configuration"});
+    compute.setTitle("\nComputation resources:");
+    compute.addRow({"RE x " + std::to_string(cfg.reCount),
+                    std::to_string(cfg.rcPerRe) + " RCs & " +
+                        std::to_string(cfg.rbcPerRe) + " RBCs per RE"});
+    compute.addRow({"WSU x " + std::to_string(cfg.reCount),
+                    "pairwise scheduling + streaming"});
+    compute.addRow({"PE x " + std::to_string(cfg.peCount),
+                    "1 PBC per PE, " +
+                        std::to_string(cfg.gaussiansPerPe) +
+                        " Gaussians in flight"});
+    compute.addRow({"GMU x " + std::to_string(cfg.gmuCount),
+                    "Benes network + merge tree"});
+    compute.print();
+
+    TablePrinter mem({"memory", "size"});
+    mem.setTitle("\nMemory allocation:");
+    mem.addRow({"Gaussian Cache",
+                std::to_string(cfg.gaussianCacheKb) + " KB"});
+    mem.addRow({"Pixel Buffer",
+                std::to_string(cfg.pixelBufferKb) + " KB"});
+    mem.addRow({"2D Buffer", std::to_string(cfg.twoDBufferKb) + " KB"});
+    mem.addRow({"R&B Buffer", std::to_string(cfg.rbBufferKb) + " KB"});
+    mem.addRow({"Stage Buffer",
+                std::to_string(cfg.stageBufferKb) + " KB"});
+    mem.addRow({"3D Buffer", std::to_string(cfg.threeDBufferKb) + " KB"});
+    mem.addRow({"Output Buffer",
+                std::to_string(cfg.outputBufferKb) + " KB"});
+    mem.addRow({"WSU Buffer", std::to_string(cfg.wsuBufferKb) + " KB"});
+    mem.addRow({"Total SRAM", std::to_string(cfg.totalSramKb()) + " KB"});
+    mem.addRow({"Shared L2 Cache",
+                std::to_string(cfg.l2CacheMb) + " MB"});
+    mem.print();
+
+    TablePrinter lat({"pipeline unit", "latency (cycles)"});
+    lat.setTitle("\nUnit latencies (Sec. 5.2):");
+    lat.addRow({"alpha computing",
+                std::to_string(cfg.alphaComputeCycles)});
+    lat.addRow({"alpha blending", std::to_string(cfg.alphaBlendCycles)});
+    lat.addRow({"alpha gradient (recompute)",
+                std::to_string(cfg.alphaGradCyclesNoReuse)});
+    lat.addRow({"alpha gradient (R&B reuse)",
+                std::to_string(cfg.alphaGradCyclesReuse)});
+    lat.addRow({"cov/pos gradient",
+                std::to_string(cfg.covPosGradCycles)});
+    lat.print();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Explore the pruning quality/efficiency trade-off: sweep the cap on
+ * the adaptive pruner's ratio and report map size, rendering workload,
+ * ATE and PSNR — the knob behind the paper's Fig. 13/14 analysis.
+ *
+ *   ./examples/pruning_tradeoff
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/rtgs_slam.hh"
+#include "image/metrics.hh"
+#include "slam/evaluation.hh"
+
+int
+main()
+{
+    using namespace rtgs;
+
+    data::DatasetSpec spec = data::DatasetSpec::tumLike(0.2f);
+    spec.trajectory.frameCount = 18;
+    spec.trajectory.revolutions = 0.1f;
+    data::SyntheticDataset dataset(spec);
+
+    std::vector<SE3> gt;
+    for (u32 f = 0; f < dataset.frameCount(); ++f)
+        gt.push_back(dataset.gtPose(f));
+
+    TablePrinter table({"prune cap", "gaussians", "fragments/frame",
+                        "ATE (cm)", "PSNR (dB)"});
+    table.setTitle("Adaptive pruning trade-off sweep:");
+
+    for (double cap : {0.0, 0.25, 0.5, 0.8}) {
+        core::RtgsSlamConfig cfg;
+        cfg.base =
+            slam::SlamConfig::forAlgorithm(slam::BaseAlgorithm::MonoGs);
+        cfg.base.tracker.iterations = 10;
+        cfg.base.mapper.iterations = 12;
+        cfg.enableDownsampling = false;
+        cfg.enablePruning = cap > 0;
+        cfg.pruner.maxPruneRatio = static_cast<Real>(cap);
+        core::RtgsSlam rtgs(cfg, dataset.intrinsics());
+
+        u64 fragments = 0;
+        rtgs.setExternalTrackHook(
+            [&](const slam::TrackIterationContext &ctx) {
+                fragments += ctx.forward->result.totalFragments();
+            });
+
+        for (u32 f = 0; f < dataset.frameCount(); ++f)
+            rtgs.processFrame(dataset.frame(f));
+
+        auto ate = slam::computeAte(rtgs.system().trajectory(), gt);
+        u32 mid = dataset.frameCount() / 2;
+        double quality = psnr(rtgs.system().renderView(dataset.gtPose(mid)),
+                              dataset.frame(mid).rgb);
+
+        table.addRow({TablePrinter::num(cap * 100, 0) + "%",
+                      std::to_string(rtgs.system().cloud().size()),
+                      std::to_string(fragments / dataset.frameCount()),
+                      TablePrinter::num(ate.rmse * 100),
+                      TablePrinter::num(quality, 1)});
+    }
+    table.print();
+    std::printf("\nNote: past ~50%% the paper (Fig. 14a) observes sharp "
+                "ATE degradation;\nthe default cap is therefore 50%%.\n");
+    return 0;
+}

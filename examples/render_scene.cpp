@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Pure rendering demo: build a procedural scene, render RGB and depth
+ * from a few viewpoints with the tile-based differentiable rasterizer,
+ * and write PPM images plus per-pixel workload statistics (the raw
+ * material of the paper's Observation 6).
+ *
+ *   ./examples/render_scene [output_prefix]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hh"
+#include "data/scene.hh"
+#include "gs/render_pipeline.hh"
+#include "image/io.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rtgs;
+    std::string prefix = argc > 1 ? argv[1] : "render_scene";
+
+    data::SceneConfig scene_cfg;
+    scene_cfg.surfelSpacing = 0.15f;
+    gs::GaussianCloud cloud = data::buildScene(scene_cfg);
+    std::printf("scene: %zu Gaussians\n", cloud.size());
+
+    gs::RenderSettings settings;
+    settings.background = {0.05f, 0.05f, 0.08f};
+    gs::RenderPipeline pipeline(settings);
+
+    Intrinsics intr = Intrinsics::fromFov(1.2f, 480, 320);
+    const Vec3f eyes[] = {{1.2f, -0.4f, 0.3f},
+                          {-0.9f, -0.2f, 1.0f},
+                          {0.2f, 0.5f, -1.3f}};
+
+    for (int v = 0; v < 3; ++v) {
+        Camera cam(intr, SE3::lookAt(eyes[v], {0, 0, 0}));
+        gs::ForwardContext ctx = pipeline.forward(cloud, cam);
+
+        std::string rgb_path = prefix + "_view" + std::to_string(v) +
+                               ".ppm";
+        std::string depth_path = prefix + "_view" + std::to_string(v) +
+                                 "_depth.ppm";
+        writePpm(ctx.result.image, rgb_path);
+        writePpmGray(ctx.result.depth, depth_path);
+
+        // Per-pixel fragment workload distribution (Observation 6).
+        RunningStat frags;
+        for (size_t i = 0; i < ctx.result.nContrib.pixelCount(); ++i)
+            frags.add(ctx.result.nContrib[i]);
+        std::printf(
+            "view %d: %zu/%zu Gaussians visible, fragments/pixel "
+            "mean=%.1f max=%.0f  ->  %s\n",
+            v, ctx.projected.validCount(), cloud.size(), frags.mean(),
+            frags.max(), rgb_path.c_str());
+    }
+    return 0;
+}

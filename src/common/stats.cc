@@ -1,0 +1,145 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rtgs
+{
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    rtgs_assert(hi > lo && bins > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    double t = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(bin)];
+    ++total_;
+}
+
+double
+Histogram::binLo(size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+           static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHi(size_t i) const
+{
+    return binLo(i + 1);
+}
+
+double
+Histogram::percentileApprox(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        cum += static_cast<double>(counts_[i]);
+        if (cum >= target)
+            return binHi(i);
+    }
+    return hi_;
+}
+
+void
+StatsRegistry::inc(const std::string &name, double delta)
+{
+    values_[name] += delta;
+}
+
+void
+StatsRegistry::set(const std::string &name, double value)
+{
+    values_[name] = value;
+}
+
+double
+StatsRegistry::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+void
+StatsRegistry::clear()
+{
+    values_.clear();
+}
+
+std::string
+StatsRegistry::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : values_)
+        os << name << " " << value << "\n";
+    return os.str();
+}
+
+} // namespace rtgs

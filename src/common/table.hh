@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures as
+ * rows of text; TablePrinter aligns columns so output is directly
+ * comparable to the paper.
+ */
+
+#ifndef RTGS_COMMON_TABLE_HH
+#define RTGS_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace rtgs
+{
+
+/** Column-aligned text table with an optional title and header rule. */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Optional title printed above the table. */
+    void setTitle(std::string title);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the whole table. */
+    std::string str() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Format helper: fixed-point with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rtgs
+
+#endif // RTGS_COMMON_TABLE_HH

@@ -1,0 +1,101 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace rtgs
+{
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (stopping_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)> &fn)
+{
+    if (begin >= end)
+        return;
+
+    size_t total = end - begin;
+    size_t chunks = std::min(total, workers_.size() * 4);
+    if (chunks <= 1) {
+        for (size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> remaining{chunks};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+
+    size_t chunk_size = (total + chunks - 1) / chunks;
+    for (size_t c = 0; c < chunks; ++c) {
+        size_t lo = begin + c * chunk_size;
+        size_t hi = std::min(end, lo + chunk_size);
+        enqueue([lo, hi, &fn, &remaining, &done_mutex, &done_cv] {
+            for (size_t i = lo; i < hi; ++i)
+                fn(i);
+            if (remaining.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                done_cv.notify_one();
+            }
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&remaining] { return remaining.load() == 0; });
+}
+
+ThreadPool &
+globalPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace rtgs

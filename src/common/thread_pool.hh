@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A small fixed-size thread pool with a blocking parallel-for.
+ *
+ * The rasterizer parallelises over image tiles; the pool provides the
+ * worker threads. A process-wide pool (globalPool()) is shared by all
+ * render pipelines so thread creation cost is paid once.
+ */
+
+#ifndef RTGS_COMMON_THREAD_POOL_HH
+#define RTGS_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rtgs
+{
+
+/**
+ * Fixed-size worker pool. Tasks are std::function<void()>; parallelFor
+ * blocks the caller until all chunks complete.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool.
+     *
+     * @param num_threads Worker count; 0 selects hardware concurrency.
+     */
+    explicit ThreadPool(size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    size_t size() const { return workers_.size(); }
+
+    /**
+     * Run fn(i) for every i in [begin, end), split into contiguous chunks
+     * across the workers; blocks until all iterations finish.
+     */
+    void parallelFor(size_t begin, size_t end,
+                     const std::function<void(size_t)> &fn);
+
+  private:
+    void workerLoop();
+    void enqueue(std::function<void()> task);
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/** Process-wide shared pool, lazily created. */
+ThreadPool &globalPool();
+
+} // namespace rtgs
+
+#endif // RTGS_COMMON_THREAD_POOL_HH

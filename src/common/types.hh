@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used throughout RTGS.
+ */
+
+#ifndef RTGS_COMMON_TYPES_HH
+#define RTGS_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rtgs
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulated clock cycle count. */
+using Cycles = u64;
+
+/** Floating-point scalar for all rendering math. */
+using Real = float;
+
+} // namespace rtgs
+
+#endif // RTGS_COMMON_TYPES_HH

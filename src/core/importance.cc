@@ -1,0 +1,52 @@
+#include "core/importance.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace rtgs::core
+{
+
+std::vector<Real>
+importanceScores(const gs::CloudGrads &grads, Real lambda)
+{
+    std::vector<Real> scores(grads.size());
+    for (size_t k = 0; k < grads.size(); ++k) {
+        scores[k] = grads.dPositions[k].norm() +
+                    lambda * grads.covGradNorms[k];
+    }
+    return scores;
+}
+
+void
+accumulateScores(std::vector<Real> &into, const std::vector<Real> &scores)
+{
+    if (into.size() < scores.size())
+        into.resize(scores.size(), 0);
+    for (size_t k = 0; k < scores.size(); ++k)
+        into[k] += scores[k];
+}
+
+double
+topFractionMass(const std::vector<Real> &scores, double fraction)
+{
+    rtgs_assert(fraction > 0 && fraction <= 1);
+    if (scores.empty())
+        return 0;
+    std::vector<Real> sorted = scores;
+    std::sort(sorted.begin(), sorted.end(), std::greater<Real>());
+    double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+    if (total <= 0)
+        return 0;
+    size_t top = std::max<size_t>(
+        1, static_cast<size_t>(fraction * static_cast<double>(
+                                   sorted.size())));
+    double mass = std::accumulate(sorted.begin(),
+                                  sorted.begin() + static_cast<long>(top),
+                                  0.0);
+    return mass / total;
+}
+
+} // namespace rtgs::core

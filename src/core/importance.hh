@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Gradient-reuse importance scoring (Eq. 7):
+ *
+ *   Score_k = ||dL/d mu_k|| + lambda * ||dL/d Sigma_k||
+ *
+ * The inputs are exactly the gradients the tracking backward pass
+ * already produced for camera pose optimisation — evaluating importance
+ * adds no extra loss computation or backward pass (Sec. 4.1).
+ */
+
+#ifndef RTGS_CORE_IMPORTANCE_HH
+#define RTGS_CORE_IMPORTANCE_HH
+
+#include <vector>
+
+#include "gs/gaussian.hh"
+
+namespace rtgs::core
+{
+
+/** Eq. 7 per-Gaussian importance from existing tracking gradients. */
+std::vector<Real> importanceScores(const gs::CloudGrads &grads,
+                                   Real lambda = Real(0.8));
+
+/** Accumulate scores in place (used across a masking interval). */
+void accumulateScores(std::vector<Real> &into,
+                      const std::vector<Real> &scores);
+
+/**
+ * The fraction of total score mass carried by the top `fraction`
+ * of entries (Fig. 4's skew measurement: the top 14% of Gaussians
+ * carry the bulk of the gradient magnitude).
+ */
+double topFractionMass(const std::vector<Real> &scores, double fraction);
+
+} // namespace rtgs::core
+
+#endif // RTGS_CORE_IMPORTANCE_HH

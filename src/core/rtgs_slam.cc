@@ -1,0 +1,119 @@
+#include "core/rtgs_slam.hh"
+
+#include "common/logging.hh"
+
+namespace rtgs::core
+{
+
+RtgsSlam::RtgsSlam(const RtgsSlamConfig &config,
+                   const Intrinsics &intrinsics)
+    : config_(config),
+      system_(std::make_unique<slam::SlamSystem>(config.base, intrinsics)),
+      pruner_(config.pruner), downsampler_(config.downsampler),
+      taming_(500)
+{
+    installHooks();
+}
+
+void
+RtgsSlam::setExternalTrackHook(slam::TrackIterationHook hook)
+{
+    externalHook_ = std::move(hook);
+}
+
+void
+RtgsSlam::installHooks()
+{
+    system_->setTrackIterationHook(
+        [this](const slam::TrackIterationContext &ctx) {
+            if (externalHook_)
+                externalHook_(ctx);
+            if (!pruneThisFrame_)
+                return;
+            if (config_.pruneMethod == PruneMethod::Rtgs) {
+                // Reuse this iteration's gradients and tile bins; on
+                // removal, mirror the compaction in the mapping
+                // optimiser state.
+                pruner_.onIteration(
+                    system_->cloud(), ctx.backward->grads,
+                    ctx.forward->bins,
+                    [this](const std::vector<u8> &keep) {
+                        system_->mapper().remapOptimizer(keep);
+                        taming_.remap(keep);
+                    });
+            } else if (config_.pruneMethod == PruneMethod::Taming) {
+                taming_.observe(ctx.backward->grads);
+            }
+        });
+}
+
+RtgsFrameReport
+RtgsSlam::processFrame(const data::Frame &frame)
+{
+    RtgsFrameReport report;
+
+    // RTGS decides keyframe status *before* tracking so downsampling
+    // can reuse it (Sec. 4.2 reuses the keyframe identification step).
+    bool predicted_kf = system_->predictKeyframe(frame);
+    report.predictedKeyframe = predicted_kf;
+
+    // SplaTAM-like bases map every frame; the paper applies the RTGS
+    // techniques to the tracking iterations of each frame there
+    // (Sec. 6.1). Tracking runs downsampled and pruned while mapping
+    // keeps the native resolution.
+    bool every_frame_base =
+        config_.base.algorithm == slam::BaseAlgorithm::SplaTam;
+    bool treat_as_keyframe = predicted_kf && !every_frame_base;
+
+    Real scale = Real(1);
+    if (config_.enableDownsampling) {
+        scale = downsampler_.nextScale(treat_as_keyframe,
+                                       frame.rgb.width());
+    }
+    report.trackingScale = scale;
+
+    // Adaptive pruning runs during tracking iterations only; mapping
+    // stages re-densify and would fight the mask otherwise.
+    pruneThisFrame_ = config_.enablePruning && !treat_as_keyframe &&
+                      frame.index > 0;
+    if (pruneThisFrame_ && config_.pruneMethod == PruneMethod::Rtgs)
+        pruner_.beginFrame(system_->cloud());
+
+    report.base = system_->processFrame(frame, scale, &predicted_kf);
+
+    if (pruneThisFrame_ && config_.pruneMethod == PruneMethod::Taming) {
+        // Taming prunes on its (noisy, under-warmed) trend scores with
+        // a fixed per-frame slice up to the same global cap.
+        auto &cloud = system_->cloud();
+        if (tamingInitial_ == 0)
+            tamingInitial_ = cloud.size();
+        double cap = config_.tamingMaxPruneRatio;
+        double current = tamingInitial_
+            ? static_cast<double>(tamingPruned_) /
+              static_cast<double>(tamingInitial_)
+            : 0.0;
+        if (current < cap && cloud.size() > 64) {
+            std::vector<Real> scores = taming_.scores();
+            scores.resize(cloud.size(), 0);
+            std::vector<u8> keep = keepMaskFromScores(
+                scores, config_.tamingFramePruneFraction, 64);
+            size_t removed = 0;
+            for (u8 k : keep)
+                removed += k ? 0 : 1;
+            if (removed > 0) {
+                cloud.compact(keep);
+                system_->mapper().remapOptimizer(keep);
+                taming_.remap(keep);
+                tamingPruned_ += removed;
+            }
+        }
+    }
+    pruneThisFrame_ = false;
+
+    report.prunedTotal = pruner_.stats().prunedTotal;
+    report.maskedNow = pruner_.stats().masked;
+    reports_.push_back(report);
+    return report;
+}
+
+} // namespace rtgs::core

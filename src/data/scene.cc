@@ -1,0 +1,237 @@
+#include "data/scene.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtgs::data
+{
+
+namespace
+{
+
+u64
+hashCell(i64 x, i64 y, i64 z, u64 seed)
+{
+    u64 h = seed;
+    auto mix = [&h](u64 v) {
+        h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+        h *= 0xBF58476D1CE4E5B9ull;
+        h ^= h >> 31;
+    };
+    mix(static_cast<u64>(x) * 0x8DA6B343ull);
+    mix(static_cast<u64>(y) * 0xD8163841ull);
+    mix(static_cast<u64>(z) * 0xCB1AB31Full);
+    return h;
+}
+
+Real
+cellValue(i64 x, i64 y, i64 z, u64 seed)
+{
+    return static_cast<Real>(hashCell(x, y, z, seed) >> 11) *
+           Real(0x1.0p-53);
+}
+
+Real
+smoothstep(Real t)
+{
+    return t * t * (3 - 2 * t);
+}
+
+/** Quaternion rotating +z onto the given unit normal. */
+Quatf
+normalToRotation(const Vec3f &n)
+{
+    Vec3f z{0, 0, 1};
+    Real d = z.dot(n);
+    if (d > Real(0.9999))
+        return Quatf::identity();
+    if (d < Real(-0.9999))
+        return Quatf::fromAxisAngle({1, 0, 0}, Real(M_PI));
+    Vec3f axis = z.cross(n).normalized();
+    return Quatf::fromAxisAngle(axis, std::acos(std::clamp(d, Real(-1),
+                                                           Real(1))));
+}
+
+/** Procedural surface colour: base palette modulated by value noise. */
+Vec3f
+surfaceColor(const Vec3f &p, const Vec3f &base, Real freq, u64 seed)
+{
+    Real n1 = valueNoise3(p * freq, seed);
+    Real n2 = valueNoise3(p * (freq * Real(3.1)), seed ^ 0xABCDull);
+    // Checker-like structure plus fine noise gives contour-rich texture.
+    Real checker = (static_cast<i64>(std::floor(p.x * freq)) +
+                    static_cast<i64>(std::floor(p.y * freq)) +
+                    static_cast<i64>(std::floor(p.z * freq))) % 2 == 0
+                       ? Real(0.25)
+                       : Real(0.0);
+    Real mod = Real(0.55) + Real(0.45) * n1 - checker + Real(0.2) * n2;
+    Vec3f c = base * std::clamp(mod, Real(0.05), Real(1.0));
+    return {std::clamp(c.x, Real(0.02), Real(0.98)),
+            std::clamp(c.y, Real(0.02), Real(0.98)),
+            std::clamp(c.z, Real(0.02), Real(0.98))};
+}
+
+struct SurfelEmitter
+{
+    gs::GaussianCloud &cloud;
+    const SceneConfig &cfg;
+    Rng &rng;
+
+    void
+    emit(const Vec3f &pos, const Vec3f &normal, const Vec3f &base_color)
+    {
+        Real s = cfg.surfelSpacing;
+        Real jitter = static_cast<Real>(rng.uniform(0.75, 1.25));
+        Real tangent_scale = s * Real(0.75) * jitter;
+        // Thin along the normal: surfel-like Gaussian.
+        Vec3f log_scale{std::log(tangent_scale), std::log(tangent_scale),
+                        std::log(tangent_scale * Real(0.15))};
+        Vec3f color = surfaceColor(pos, base_color, cfg.textureFrequency,
+                                   cfg.seed);
+        Real opacity =
+            static_cast<Real>(rng.uniform(0.75, 0.95));
+        cloud.push(pos, log_scale, normalToRotation(normal),
+                   gs::inverseSigmoid(opacity),
+                   gs::GaussianCloud::rgbToSh(color));
+    }
+
+    /**
+     * Sample a planar rectangle: centre c, spanned by (eu, ev) full
+     * extents, with outward normal n.
+     */
+    void
+    plane(const Vec3f &c, const Vec3f &eu, const Vec3f &ev, const Vec3f &n,
+          const Vec3f &base_color)
+    {
+        Real du = eu.norm(), dv = ev.norm();
+        u32 nu = std::max<u32>(1, static_cast<u32>(du / cfg.surfelSpacing));
+        u32 nv = std::max<u32>(1, static_cast<u32>(dv / cfg.surfelSpacing));
+        Vec3f u_dir = eu / du, v_dir = ev / dv;
+        for (u32 i = 0; i < nu; ++i) {
+            for (u32 j = 0; j < nv; ++j) {
+                Real fu = (static_cast<Real>(i) + Real(0.5)) / nu - Real(0.5);
+                Real fv = (static_cast<Real>(j) + Real(0.5)) / nv - Real(0.5);
+                Vec3f jig = u_dir * static_cast<Real>(
+                                rng.uniform(-0.3, 0.3) * cfg.surfelSpacing) +
+                            v_dir * static_cast<Real>(
+                                rng.uniform(-0.3, 0.3) * cfg.surfelSpacing);
+                emit(c + u_dir * (fu * du) + v_dir * (fv * dv) + jig, n,
+                     base_color);
+            }
+        }
+    }
+
+    /** Sample an axis-aligned box's outer surface. */
+    void
+    box(const Vec3f &c, const Vec3f &half, const Vec3f &base_color)
+    {
+        Vec3f ex{2 * half.x, 0, 0};
+        Vec3f ey{0, 2 * half.y, 0};
+        Vec3f ez{0, 0, 2 * half.z};
+        plane(c + Vec3f{half.x, 0, 0}, ey, ez, {1, 0, 0}, base_color);
+        plane(c - Vec3f{half.x, 0, 0}, ey, ez, {-1, 0, 0}, base_color);
+        plane(c + Vec3f{0, half.y, 0}, ex, ez, {0, 1, 0}, base_color);
+        plane(c - Vec3f{0, half.y, 0}, ex, ez, {0, -1, 0}, base_color);
+        plane(c + Vec3f{0, 0, half.z}, ex, ey, {0, 0, 1}, base_color);
+        plane(c - Vec3f{0, 0, half.z}, ex, ey, {0, 0, -1}, base_color);
+    }
+
+    /** Sample a sphere surface with a Fibonacci lattice. */
+    void
+    sphere(const Vec3f &c, Real radius, const Vec3f &base_color)
+    {
+        Real area = 4 * Real(M_PI) * radius * radius;
+        u32 n = std::max<u32>(
+            8, static_cast<u32>(area / (cfg.surfelSpacing *
+                                        cfg.surfelSpacing)));
+        const Real golden = Real(M_PI) * (3 - std::sqrt(Real(5)));
+        for (u32 i = 0; i < n; ++i) {
+            Real y = 1 - 2 * (static_cast<Real>(i) + Real(0.5)) / n;
+            Real r = std::sqrt(std::max(Real(0), 1 - y * y));
+            Real phi = golden * static_cast<Real>(i);
+            Vec3f nrm{r * std::cos(phi), y, r * std::sin(phi)};
+            emit(c + nrm * radius, nrm, base_color);
+        }
+    }
+};
+
+} // namespace
+
+Real
+valueNoise3(const Vec3f &p, u64 seed)
+{
+    Vec3f f{p.x - std::floor(p.x), p.y - std::floor(p.y),
+            p.z - std::floor(p.z)};
+    i64 x0 = static_cast<i64>(std::floor(p.x));
+    i64 y0 = static_cast<i64>(std::floor(p.y));
+    i64 z0 = static_cast<i64>(std::floor(p.z));
+    Real tx = smoothstep(f.x), ty = smoothstep(f.y), tz = smoothstep(f.z);
+
+    Real acc = 0;
+    for (int dz = 0; dz <= 1; ++dz) {
+        for (int dy = 0; dy <= 1; ++dy) {
+            for (int dx = 0; dx <= 1; ++dx) {
+                Real w = (dx ? tx : 1 - tx) * (dy ? ty : 1 - ty) *
+                         (dz ? tz : 1 - tz);
+                acc += w * cellValue(x0 + dx, y0 + dy, z0 + dz, seed);
+            }
+        }
+    }
+    return acc;
+}
+
+gs::GaussianCloud
+buildScene(const SceneConfig &config)
+{
+    rtgs_assert(config.surfelSpacing > 0);
+    Rng rng(config.seed);
+    gs::GaussianCloud cloud;
+    SurfelEmitter emitter{cloud, config, rng};
+
+    const Vec3f &he = config.roomHalfExtents;
+    // Room shell (normals point inward, toward the camera volume).
+    Vec3f ex{2 * he.x, 0, 0}, ey{0, 2 * he.y, 0}, ez{0, 0, 2 * he.z};
+    emitter.plane({0, he.y, 0}, ex, ez, {0, -1, 0},
+                  {0.75f, 0.72f, 0.65f}); // floor (y down is up here)
+    emitter.plane({0, -he.y, 0}, ex, ez, {0, 1, 0},
+                  {0.9f, 0.9f, 0.92f});   // ceiling
+    emitter.plane({he.x, 0, 0}, ey, ez, {-1, 0, 0}, {0.7f, 0.3f, 0.25f});
+    emitter.plane({-he.x, 0, 0}, ey, ez, {1, 0, 0}, {0.3f, 0.5f, 0.7f});
+    emitter.plane({0, 0, he.z}, ex, ey, {0, 0, -1}, {0.4f, 0.65f, 0.35f});
+    emitter.plane({0, 0, -he.z}, ex, ey, {0, 0, 1}, {0.65f, 0.6f, 0.3f});
+
+    // Furniture: boxes on the floor, spheres floating mid-height.
+    // Placement avoids the camera's orbit annulus (trajectories orbit
+    // at ~0.45 of the half-extents): objects sit either near the room
+    // centre or near the walls so the camera never flies through them.
+    for (u32 i = 0; i < config.furnitureCount; ++i) {
+        Vec3f base{static_cast<Real>(rng.uniform(0.2, 0.9)),
+                   static_cast<Real>(rng.uniform(0.2, 0.9)),
+                   static_cast<Real>(rng.uniform(0.2, 0.9))};
+        bool inner = i % 2 == 0;
+        Real radial = inner
+            ? static_cast<Real>(rng.uniform(0.0, 0.08))
+            : static_cast<Real>(rng.uniform(0.80, 0.92));
+        Real angle = static_cast<Real>(rng.uniform(0, 2 * M_PI));
+        Real px = radial * he.x * std::cos(angle);
+        Real pz = radial * he.z * std::sin(angle);
+        if (i % 2 == 0) {
+            Vec3f half{static_cast<Real>(rng.uniform(0.2, 0.35)),
+                       static_cast<Real>(rng.uniform(0.3, 0.6)),
+                       static_cast<Real>(rng.uniform(0.2, 0.35))};
+            emitter.box({px, he.y - half.y, pz}, half, base);
+        } else {
+            Real r = static_cast<Real>(rng.uniform(0.2, 0.35));
+            Real py = static_cast<Real>(rng.uniform(-0.3, 0.4)) * he.y;
+            emitter.sphere({px, py, pz}, r, base);
+        }
+    }
+
+    inform("buildScene: %zu ground-truth Gaussians (seed %llu)",
+           cloud.size(), static_cast<unsigned long long>(config.seed));
+    return cloud;
+}
+
+} // namespace rtgs::data

@@ -1,0 +1,49 @@
+#include "data/trajectory.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace rtgs::data
+{
+
+std::vector<SE3>
+generateTrajectory(const TrajectoryConfig &config)
+{
+    rtgs_assert(config.frameCount > 0);
+    Rng rng(config.seed);
+
+    // Random but fixed phase offsets make distinct seeds distinct paths.
+    Real phase0 = static_cast<Real>(rng.uniform(0, 2 * M_PI));
+    Real phase1 = static_cast<Real>(rng.uniform(0, 2 * M_PI));
+    Real target_phase = static_cast<Real>(rng.uniform(0, 2 * M_PI));
+
+    const Vec3f &he = config.roomHalfExtents;
+    Vec3f amp{he.x * config.orbitScale.x, he.y * config.orbitScale.y,
+              he.z * config.orbitScale.z};
+
+    std::vector<SE3> poses;
+    poses.reserve(config.frameCount);
+    for (u32 f = 0; f < config.frameCount; ++f) {
+        Real t = static_cast<Real>(f) /
+                 static_cast<Real>(std::max<u32>(1, config.frameCount - 1));
+        Real theta = 2 * Real(M_PI) * config.revolutions * t + phase0;
+
+        Vec3f eye{amp.x * std::cos(theta),
+                  amp.y * std::sin(config.bobFrequency * theta + phase1),
+                  amp.z * std::sin(theta)};
+
+        // Look-at wanders slowly around the room centre.
+        Vec3f target{
+            config.targetWander * std::sin(Real(0.9) * theta + target_phase),
+            config.targetWander * Real(0.4) *
+                std::cos(Real(1.3) * theta + target_phase),
+            config.targetWander * std::cos(Real(0.7) * theta)};
+
+        poses.push_back(SE3::lookAt(eye, target));
+    }
+    return poses;
+}
+
+} // namespace rtgs::data

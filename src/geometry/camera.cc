@@ -1,0 +1,32 @@
+#include "geometry/camera.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtgs
+{
+
+Intrinsics
+Intrinsics::fromFov(Real fov_x, u32 width, u32 height)
+{
+    rtgs_assert(fov_x > 0 && fov_x < Real(M_PI));
+    Real fx = Real(0.5) * static_cast<Real>(width) /
+              std::tan(Real(0.5) * fov_x);
+    // Square pixels: fy = fx.
+    return {fx, fx, Real(0.5) * static_cast<Real>(width),
+            Real(0.5) * static_cast<Real>(height), width, height};
+}
+
+Intrinsics
+Intrinsics::scaled(Real scale) const
+{
+    rtgs_assert(scale > 0 && scale <= 1);
+    u32 w = std::max<u32>(1, static_cast<u32>(std::lround(width * scale)));
+    u32 h = std::max<u32>(1, static_cast<u32>(std::lround(height * scale)));
+    Real sx = static_cast<Real>(w) / static_cast<Real>(width);
+    Real sy = static_cast<Real>(h) / static_cast<Real>(height);
+    return {fx * sx, fy * sy, cx * sx, cy * sy, w, h};
+}
+
+} // namespace rtgs

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Pinhole camera model: intrinsics, projection, and the projection
+ * Jacobian used by EWA splatting.
+ */
+
+#ifndef RTGS_GEOMETRY_CAMERA_HH
+#define RTGS_GEOMETRY_CAMERA_HH
+
+#include "common/types.hh"
+#include "geometry/mat.hh"
+#include "geometry/se3.hh"
+#include "geometry/vec.hh"
+
+namespace rtgs
+{
+
+/** Pinhole intrinsics (pixels). */
+struct Intrinsics
+{
+    Real fx = 0, fy = 0, cx = 0, cy = 0;
+    u32 width = 0, height = 0;
+
+    Intrinsics() = default;
+    Intrinsics(Real fx_, Real fy_, Real cx_, Real cy_, u32 w, u32 h)
+        : fx(fx_), fy(fy_), cx(cx_), cy(cy_), width(w), height(h)
+    {}
+
+    /**
+     * Intrinsics for a horizontal field of view (radians) at the given
+     * image size, principal point centred.
+     */
+    static Intrinsics fromFov(Real fov_x, u32 width, u32 height);
+
+    /**
+     * Intrinsics rescaled to a lower resolution by the linear factor
+     * `scale` in (0, 1]; focal lengths and principal point scale with it.
+     */
+    Intrinsics scaled(Real scale) const;
+
+    /** Project a camera-space point (z > 0) to pixel coordinates. */
+    Vec2f
+    project(const Vec3f &p) const
+    {
+        return {fx * p.x / p.z + cx, fy * p.y / p.z + cy};
+    }
+
+    /**
+     * Jacobian of project() at camera-space point p: the 2x3 EWA
+     * projection matrix J.
+     */
+    Mat2x3f
+    projectJacobian(const Vec3f &p) const
+    {
+        Mat2x3f J;
+        Real inv_z = Real(1) / p.z;
+        Real inv_z2 = inv_z * inv_z;
+        J(0, 0) = fx * inv_z;
+        J(0, 2) = -fx * p.x * inv_z2;
+        J(1, 1) = fy * inv_z;
+        J(1, 2) = -fy * p.y * inv_z2;
+        return J;
+    }
+
+    /** Back-project pixel + depth into camera space. */
+    Vec3f
+    unproject(const Vec2f &px, Real depth) const
+    {
+        return {(px.x - cx) / fx * depth, (px.y - cy) / fy * depth, depth};
+    }
+
+    u64 pixelCount() const
+    {
+        return static_cast<u64>(width) * height;
+    }
+};
+
+/** Camera = intrinsics + world-to-camera pose. */
+struct Camera
+{
+    Intrinsics intr;
+    SE3 pose; // world -> camera
+
+    Camera() = default;
+    Camera(const Intrinsics &i, const SE3 &p) : intr(i), pose(p) {}
+
+    /** World point to camera space. */
+    Vec3f toCamera(const Vec3f &p_world) const
+    {
+        return pose.apply(p_world);
+    }
+
+    /** World point to pixel coordinates (caller checks depth > 0). */
+    Vec2f projectWorld(const Vec3f &p_world) const
+    {
+        return intr.project(toCamera(p_world));
+    }
+};
+
+} // namespace rtgs
+
+#endif // RTGS_GEOMETRY_CAMERA_HH

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Small fixed-size matrix types (row-major) for projection and covariance
+ * math. Only the shapes the pipeline needs: 2x2 symmetric work, 3x3, and
+ * the 2x3 projection Jacobian.
+ */
+
+#ifndef RTGS_GEOMETRY_MAT_HH
+#define RTGS_GEOMETRY_MAT_HH
+
+#include <cmath>
+
+#include "geometry/vec.hh"
+
+namespace rtgs
+{
+
+/** Row-major 2x2 matrix. */
+template <typename T>
+struct Mat2
+{
+    // m[row][col]
+    T m[2][2] = {{T(0), T(0)}, {T(0), T(0)}};
+
+    Mat2() = default;
+    Mat2(T a, T b, T c, T d)
+    {
+        m[0][0] = a; m[0][1] = b;
+        m[1][0] = c; m[1][1] = d;
+    }
+
+    static Mat2 identity() { return {T(1), T(0), T(0), T(1)}; }
+
+    T operator()(int r, int c) const { return m[r][c]; }
+    T &operator()(int r, int c) { return m[r][c]; }
+
+    Mat2 operator+(const Mat2 &o) const
+    {
+        return {m[0][0] + o.m[0][0], m[0][1] + o.m[0][1],
+                m[1][0] + o.m[1][0], m[1][1] + o.m[1][1]};
+    }
+    Mat2 operator-(const Mat2 &o) const
+    {
+        return {m[0][0] - o.m[0][0], m[0][1] - o.m[0][1],
+                m[1][0] - o.m[1][0], m[1][1] - o.m[1][1]};
+    }
+    Mat2 operator*(T s) const
+    {
+        return {m[0][0] * s, m[0][1] * s, m[1][0] * s, m[1][1] * s};
+    }
+    Mat2 operator*(const Mat2 &o) const
+    {
+        Mat2 r;
+        for (int i = 0; i < 2; ++i)
+            for (int j = 0; j < 2; ++j)
+                r.m[i][j] = m[i][0] * o.m[0][j] + m[i][1] * o.m[1][j];
+        return r;
+    }
+    Vec2<T> operator*(const Vec2<T> &v) const
+    {
+        return {m[0][0] * v.x + m[0][1] * v.y,
+                m[1][0] * v.x + m[1][1] * v.y};
+    }
+
+    T det() const { return m[0][0] * m[1][1] - m[0][1] * m[1][0]; }
+    T trace() const { return m[0][0] + m[1][1]; }
+
+    Mat2 transpose() const
+    {
+        return {m[0][0], m[1][0], m[0][1], m[1][1]};
+    }
+
+    /** Inverse; caller must ensure det() != 0. */
+    Mat2 inverse() const
+    {
+        T d = det();
+        T inv = T(1) / d;
+        return {m[1][1] * inv, -m[0][1] * inv,
+                -m[1][0] * inv, m[0][0] * inv};
+    }
+};
+
+/** Row-major 3x3 matrix. */
+template <typename T>
+struct Mat3
+{
+    T m[3][3] = {{T(0), T(0), T(0)},
+                 {T(0), T(0), T(0)},
+                 {T(0), T(0), T(0)}};
+
+    Mat3() = default;
+
+    static Mat3
+    identity()
+    {
+        Mat3 r;
+        r.m[0][0] = r.m[1][1] = r.m[2][2] = T(1);
+        return r;
+    }
+
+    static Mat3
+    diagonal(const Vec3<T> &d)
+    {
+        Mat3 r;
+        r.m[0][0] = d.x; r.m[1][1] = d.y; r.m[2][2] = d.z;
+        return r;
+    }
+
+    /** Skew-symmetric cross-product matrix [v]x. */
+    static Mat3
+    skew(const Vec3<T> &v)
+    {
+        Mat3 r;
+        r.m[0][1] = -v.z; r.m[0][2] = v.y;
+        r.m[1][0] = v.z; r.m[1][2] = -v.x;
+        r.m[2][0] = -v.y; r.m[2][1] = v.x;
+        return r;
+    }
+
+    static Mat3
+    outer(const Vec3<T> &a, const Vec3<T> &b)
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = a[i] * b[j];
+        return r;
+    }
+
+    T operator()(int r, int c) const { return m[r][c]; }
+    T &operator()(int r, int c) { return m[r][c]; }
+
+    Vec3<T> row(int r) const { return {m[r][0], m[r][1], m[r][2]}; }
+    Vec3<T> col(int c) const { return {m[0][c], m[1][c], m[2][c]}; }
+
+    Mat3 operator+(const Mat3 &o) const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][j] + o.m[i][j];
+        return r;
+    }
+    Mat3 operator-(const Mat3 &o) const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][j] - o.m[i][j];
+        return r;
+    }
+    Mat3 operator*(T s) const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][j] * s;
+        return r;
+    }
+    Mat3 operator*(const Mat3 &o) const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][0] * o.m[0][j] + m[i][1] * o.m[1][j] +
+                            m[i][2] * o.m[2][j];
+        return r;
+    }
+    Vec3<T> operator*(const Vec3<T> &v) const
+    {
+        return {row(0).dot(v), row(1).dot(v), row(2).dot(v)};
+    }
+
+    Mat3
+    transpose() const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[j][i];
+        return r;
+    }
+
+    T
+    det() const
+    {
+        return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+               m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+               m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    }
+
+    T trace() const { return m[0][0] + m[1][1] + m[2][2]; }
+
+    /** Inverse via adjugate; caller must ensure det() != 0. */
+    Mat3
+    inverse() const
+    {
+        T d = det();
+        T inv = T(1) / d;
+        Mat3 r;
+        r.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv;
+        r.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv;
+        r.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv;
+        r.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv;
+        r.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv;
+        r.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv;
+        r.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv;
+        r.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv;
+        r.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv;
+        return r;
+    }
+};
+
+/**
+ * Row-major 2x3 matrix; the shape of the perspective-projection Jacobian
+ * J = d(pixel)/d(camera point).
+ */
+template <typename T>
+struct Mat2x3
+{
+    T m[2][3] = {{T(0), T(0), T(0)}, {T(0), T(0), T(0)}};
+
+    Mat2x3() = default;
+
+    T operator()(int r, int c) const { return m[r][c]; }
+    T &operator()(int r, int c) { return m[r][c]; }
+
+    Vec2<T>
+    operator*(const Vec3<T> &v) const
+    {
+        return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+                m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z};
+    }
+
+    /** (2x3) * (3x3) -> 2x3. */
+    Mat2x3
+    operator*(const Mat3<T> &o) const
+    {
+        Mat2x3 r;
+        for (int i = 0; i < 2; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][0] * o.m[0][j] + m[i][1] * o.m[1][j] +
+                            m[i][2] * o.m[2][j];
+        return r;
+    }
+
+    /** A * B^T where B is also 2x3 -> 2x2. */
+    Mat2<T>
+    multTranspose(const Mat2x3 &o) const
+    {
+        Mat2<T> r;
+        for (int i = 0; i < 2; ++i)
+            for (int j = 0; j < 2; ++j)
+                r.m[i][j] = m[i][0] * o.m[j][0] + m[i][1] * o.m[j][1] +
+                            m[i][2] * o.m[j][2];
+        return r;
+    }
+
+    /** Transpose to 3x2 applied to a 2-vector: J^T v. */
+    Vec3<T>
+    transposeMult(const Vec2<T> &v) const
+    {
+        return {m[0][0] * v.x + m[1][0] * v.y,
+                m[0][1] * v.x + m[1][1] * v.y,
+                m[0][2] * v.x + m[1][2] * v.y};
+    }
+};
+
+using Mat2f = Mat2<Real>;
+using Mat3f = Mat3<Real>;
+using Mat2x3f = Mat2x3<Real>;
+using Mat3d = Mat3<double>;
+
+/** Symmetric 2x2 matrix stored as (xx, xy, yy); used for 2D covariances. */
+struct Sym2f
+{
+    Real xx = 0, xy = 0, yy = 0;
+
+    Sym2f() = default;
+    Sym2f(Real xx_, Real xy_, Real yy_) : xx(xx_), xy(xy_), yy(yy_) {}
+
+    static Sym2f
+    fromMat(const Mat2f &m)
+    {
+        return {m(0, 0), Real(0.5) * (m(0, 1) + m(1, 0)), m(1, 1)};
+    }
+
+    Mat2f toMat() const { return {xx, xy, xy, yy}; }
+
+    Real det() const { return xx * yy - xy * xy; }
+
+    Sym2f operator+(const Sym2f &o) const
+    {
+        return {xx + o.xx, xy + o.xy, yy + o.yy};
+    }
+    Sym2f operator*(Real s) const { return {xx * s, xy * s, yy * s}; }
+
+    /** Inverse (the "conic" of a Gaussian); caller checks det() != 0. */
+    Sym2f
+    inverse() const
+    {
+        Real inv = Real(1) / det();
+        return {yy * inv, -xy * inv, xx * inv};
+    }
+
+    /** Quadratic form v^T S v. */
+    Real
+    quadForm(const Vec2f &v) const
+    {
+        return xx * v.x * v.x + Real(2) * xy * v.x * v.y + yy * v.y * v.y;
+    }
+
+    /** Largest eigenvalue (for the 3-sigma splat radius). */
+    Real
+    maxEigen() const
+    {
+        Real mid = Real(0.5) * (xx + yy);
+        Real d = std::sqrt(std::max(Real(0), mid * mid - det()));
+        return mid + d;
+    }
+};
+
+} // namespace rtgs
+
+#endif // RTGS_GEOMETRY_MAT_HH

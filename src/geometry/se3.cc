@@ -1,0 +1,120 @@
+#include "geometry/se3.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtgs
+{
+
+Mat3f
+expSo3(const Vec3f &phi)
+{
+    Real theta = phi.norm();
+    Mat3f K = Mat3f::skew(phi);
+    if (theta < Real(1e-8)) {
+        // Second-order Taylor expansion near identity.
+        return Mat3f::identity() + K + K * K * Real(0.5);
+    }
+    Real a = std::sin(theta) / theta;
+    Real b = (1 - std::cos(theta)) / (theta * theta);
+    return Mat3f::identity() + K * a + (K * K) * b;
+}
+
+Vec3f
+logSo3(const Mat3f &R)
+{
+    Real cos_theta = std::clamp((R.trace() - 1) * Real(0.5),
+                                Real(-1), Real(1));
+    Real theta = std::acos(cos_theta);
+    Vec3f w{R(2, 1) - R(1, 2), R(0, 2) - R(2, 0), R(1, 0) - R(0, 1)};
+    if (theta < Real(1e-6))
+        return w * Real(0.5);
+    if (theta > Real(M_PI) - Real(1e-4)) {
+        // Near pi: extract axis from the symmetric part.
+        Vec3f axis;
+        Mat3f A = (R + Mat3f::identity()) * Real(0.5);
+        axis = {std::sqrt(std::max(Real(0), A(0, 0))),
+                std::sqrt(std::max(Real(0), A(1, 1))),
+                std::sqrt(std::max(Real(0), A(2, 2)))};
+        // Fix signs using off-diagonals.
+        if (A(0, 1) < 0) axis.y = -axis.y;
+        if (A(0, 2) < 0) axis.z = -axis.z;
+        return axis.normalized() * theta;
+    }
+    return w * (theta / (2 * std::sin(theta)));
+}
+
+SE3
+SE3::exp(const Twist &xi)
+{
+    Real theta = xi.phi.norm();
+    Mat3f R = expSo3(xi.phi);
+    Mat3f V;
+    Mat3f K = Mat3f::skew(xi.phi);
+    if (theta < Real(1e-8)) {
+        V = Mat3f::identity() + K * Real(0.5) + (K * K) * (Real(1) / 6);
+    } else {
+        Real t2 = theta * theta;
+        Real b = (1 - std::cos(theta)) / t2;
+        Real c = (theta - std::sin(theta)) / (t2 * theta);
+        V = Mat3f::identity() + K * b + (K * K) * c;
+    }
+    return {R, V * xi.rho};
+}
+
+Twist
+SE3::log() const
+{
+    Vec3f phi = logSo3(rot);
+    Real theta = phi.norm();
+    Mat3f K = Mat3f::skew(phi);
+    Mat3f v_inv;
+    if (theta < Real(1e-8)) {
+        v_inv = Mat3f::identity() - K * Real(0.5) + (K * K) * (Real(1) / 12);
+    } else {
+        Real half = Real(0.5) * theta;
+        Real cot = std::cos(half) / std::sin(half);
+        Real a = (1 - Real(0.5) * theta * cot) / (theta * theta);
+        v_inv = Mat3f::identity() - K * Real(0.5) + (K * K) * a;
+    }
+    return {v_inv * trans, phi};
+}
+
+SE3
+SE3::lookAt(const Vec3f &eye, const Vec3f &target, const Vec3f &up)
+{
+    Vec3f forward = (target - eye).normalized();
+    Vec3f right = forward.cross(up).normalized();
+    if (right.norm() < Real(1e-6)) {
+        // Degenerate up direction; pick an arbitrary perpendicular.
+        right = forward.cross(Vec3f{1, 0, 0});
+        if (right.norm() < Real(1e-6))
+            right = forward.cross(Vec3f{0, 0, 1});
+        right = right.normalized();
+    }
+    Vec3f down = forward.cross(right).normalized();
+
+    // Camera axes as rows of the world-to-camera rotation.
+    Mat3f R;
+    for (int c = 0; c < 3; ++c) {
+        R(0, c) = right[c];
+        R(1, c) = down[c];
+        R(2, c) = forward[c];
+    }
+    return {R, -(R * eye)};
+}
+
+Real
+SE3::rotationDistance(const SE3 &a, const SE3 &b)
+{
+    Mat3f rel = a.rot.transpose() * b.rot;
+    return logSo3(rel).norm();
+}
+
+Real
+SE3::translationDistance(const SE3 &a, const SE3 &b)
+{
+    return (a.centre() - b.centre()).norm();
+}
+
+} // namespace rtgs

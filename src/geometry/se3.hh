@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SE(3) rigid transforms and their exponential/logarithm maps.
+ *
+ * Camera poses are stored world-to-camera (x_cam = R x_world + t), and
+ * the tracker optimises a left-multiplied twist: T' = Exp(xi) * T with
+ * xi = (rho, phi) stacking translation then rotation.
+ */
+
+#ifndef RTGS_GEOMETRY_SE3_HH
+#define RTGS_GEOMETRY_SE3_HH
+
+#include "geometry/mat.hh"
+#include "geometry/quat.hh"
+#include "geometry/vec.hh"
+
+namespace rtgs
+{
+
+/** A twist in se(3): translational part rho, rotational part phi. */
+struct Twist
+{
+    Vec3f rho;
+    Vec3f phi;
+
+    Twist() = default;
+    Twist(const Vec3f &rho_, const Vec3f &phi_) : rho(rho_), phi(phi_) {}
+
+    Twist operator+(const Twist &o) const
+    {
+        return {rho + o.rho, phi + o.phi};
+    }
+    Twist operator*(Real s) const { return {rho * s, phi * s}; }
+
+    Real
+    norm() const
+    {
+        return std::sqrt(rho.squaredNorm() + phi.squaredNorm());
+    }
+
+    Real operator[](int i) const
+    {
+        return i < 3 ? rho[i] : phi[i - 3];
+    }
+    Real &operator[](int i)
+    {
+        return i < 3 ? rho[i] : phi[i - 3];
+    }
+};
+
+/** Rigid transform: x' = R x + t. */
+struct SE3
+{
+    Mat3f rot = Mat3f::identity();
+    Vec3f trans;
+
+    SE3() = default;
+    SE3(const Mat3f &r, const Vec3f &t) : rot(r), trans(t) {}
+
+    static SE3 identity() { return {}; }
+
+    /** Exponential map from a twist. */
+    static SE3 exp(const Twist &xi);
+
+    /** Logarithm map to a twist. */
+    Twist log() const;
+
+    Vec3f apply(const Vec3f &p) const { return rot * p + trans; }
+
+    SE3
+    operator*(const SE3 &o) const
+    {
+        return {rot * o.rot, rot * o.trans + trans};
+    }
+
+    SE3
+    inverse() const
+    {
+        Mat3f rt = rot.transpose();
+        return {rt, -(rt * trans)};
+    }
+
+    /** Left-perturbed retraction: Exp(xi) * this. */
+    SE3 retract(const Twist &xi) const { return SE3::exp(xi) * *this; }
+
+    /**
+     * Camera pose looking from `eye` toward `target` with the given up
+     * direction; returns the world-to-camera transform with the usual
+     * computer-vision axes (+z forward, +x right, +y down).
+     */
+    static SE3 lookAt(const Vec3f &eye, const Vec3f &target,
+                      const Vec3f &up = {0, -1, 0});
+
+    /** Geodesic rotation distance (radians) between two poses. */
+    static Real rotationDistance(const SE3 &a, const SE3 &b);
+
+    /** Euclidean distance between camera centres. */
+    static Real translationDistance(const SE3 &a, const SE3 &b);
+
+    /** Camera centre in world coordinates (for world-to-camera poses). */
+    Vec3f centre() const { return -(rot.transpose() * trans); }
+};
+
+/** Rodrigues rotation from an axis-angle vector. */
+Mat3f expSo3(const Vec3f &phi);
+
+/** Axis-angle vector of a rotation matrix. */
+Vec3f logSo3(const Mat3f &rot);
+
+} // namespace rtgs
+
+#endif // RTGS_GEOMETRY_SE3_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Small fixed-size vector types used by the rendering and SLAM math.
+ */
+
+#ifndef RTGS_GEOMETRY_VEC_HH
+#define RTGS_GEOMETRY_VEC_HH
+
+#include <cmath>
+
+#include "common/types.hh"
+
+namespace rtgs
+{
+
+/** 2-component vector. */
+template <typename T>
+struct Vec2
+{
+    T x{}, y{};
+
+    Vec2() = default;
+    Vec2(T x_, T y_) : x(x_), y(y_) {}
+
+    Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(T s) const { return {x * s, y * s}; }
+    Vec2 operator/(T s) const { return {x / s, y / s}; }
+    Vec2 &operator+=(const Vec2 &o) { x += o.x; y += o.y; return *this; }
+    Vec2 &operator-=(const Vec2 &o) { x -= o.x; y -= o.y; return *this; }
+    Vec2 &operator*=(T s) { x *= s; y *= s; return *this; }
+    Vec2 operator-() const { return {-x, -y}; }
+    bool operator==(const Vec2 &o) const { return x == o.x && y == o.y; }
+
+    T dot(const Vec2 &o) const { return x * o.x + y * o.y; }
+    T squaredNorm() const { return dot(*this); }
+    T norm() const { return std::sqrt(squaredNorm()); }
+};
+
+/** 3-component vector. */
+template <typename T>
+struct Vec3
+{
+    T x{}, y{}, z{};
+
+    Vec3() = default;
+    Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+
+    Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    Vec3 operator*(T s) const { return {x * s, y * s, z * s}; }
+    Vec3 operator/(T s) const { return {x / s, y / s, z / s}; }
+    Vec3 &operator+=(const Vec3 &o)
+    {
+        x += o.x; y += o.y; z += o.z;
+        return *this;
+    }
+    Vec3 &operator-=(const Vec3 &o)
+    {
+        x -= o.x; y -= o.y; z -= o.z;
+        return *this;
+    }
+    Vec3 &operator*=(T s) { x *= s; y *= s; z *= s; return *this; }
+    Vec3 operator-() const { return {-x, -y, -z}; }
+    bool operator==(const Vec3 &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+
+    /** Component-wise product. */
+    Vec3 cwiseProduct(const Vec3 &o) const
+    {
+        return {x * o.x, y * o.y, z * o.z};
+    }
+
+    T dot(const Vec3 &o) const { return x * o.x + y * o.y + z * o.z; }
+    Vec3 cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+    T squaredNorm() const { return dot(*this); }
+    T norm() const { return std::sqrt(squaredNorm()); }
+    Vec3 normalized() const
+    {
+        T n = norm();
+        return n > T(0) ? *this / n : Vec3{};
+    }
+
+    T operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+    T &operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+};
+
+/** 4-component vector. */
+template <typename T>
+struct Vec4
+{
+    T x{}, y{}, z{}, w{};
+
+    Vec4() = default;
+    Vec4(T x_, T y_, T z_, T w_) : x(x_), y(y_), z(z_), w(w_) {}
+
+    Vec4 operator+(const Vec4 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z, w + o.w};
+    }
+    Vec4 operator-(const Vec4 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z, w - o.w};
+    }
+    Vec4 operator*(T s) const { return {x * s, y * s, z * s, w * s}; }
+    Vec4 &operator+=(const Vec4 &o)
+    {
+        x += o.x; y += o.y; z += o.z; w += o.w;
+        return *this;
+    }
+
+    T dot(const Vec4 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z + w * o.w;
+    }
+    T squaredNorm() const { return dot(*this); }
+    T norm() const { return std::sqrt(squaredNorm()); }
+};
+
+template <typename T>
+Vec2<T> operator*(T s, const Vec2<T> &v) { return v * s; }
+template <typename T>
+Vec3<T> operator*(T s, const Vec3<T> &v) { return v * s; }
+template <typename T>
+Vec4<T> operator*(T s, const Vec4<T> &v) { return v * s; }
+
+using Vec2f = Vec2<Real>;
+using Vec3f = Vec3<Real>;
+using Vec4f = Vec4<Real>;
+using Vec2d = Vec2<double>;
+using Vec3d = Vec3<double>;
+using Vec2i = Vec2<i32>;
+
+} // namespace rtgs
+
+#endif // RTGS_GEOMETRY_VEC_HH

@@ -1,0 +1,360 @@
+#include "gs/backward.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtgs::gs
+{
+
+namespace
+{
+
+/**
+ * Symmetric-storage gradient to full-matrix form. Our Sym2f gradients
+ * store the off-diagonal as the sum over both matrix positions, so the
+ * full-matrix gradient carries half in each.
+ */
+Mat2f
+symGradToFull(const Sym2f &g)
+{
+    return {g.xx, Real(0.5) * g.xy, Real(0.5) * g.xy, g.yy};
+}
+
+/** One blended fragment recorded during the forward re-walk. */
+struct FragRecord
+{
+    u32 idx;      //!< Gaussian index
+    Real alpha;
+    Real gval;    //!< exp(power), the unclamped Gaussian falloff
+    Vec2f d;      //!< pixel - mean2d
+    Real tBefore; //!< transmittance before blending this fragment
+    bool clamped; //!< alpha hit the saturation cap
+};
+
+} // namespace
+
+void
+Gradient2DBuffers::resize(size_t n)
+{
+    dMean2d.assign(n, {});
+    dConic.assign(n, {});
+    dColor.assign(n, {});
+    dOpacityAct.assign(n, 0);
+    dDepth.assign(n, 0);
+}
+
+void
+Gradient2DBuffers::setZero()
+{
+    std::fill(dMean2d.begin(), dMean2d.end(), Vec2f{});
+    std::fill(dConic.begin(), dConic.end(), Sym2f{});
+    std::fill(dColor.begin(), dColor.end(), Vec3f{});
+    std::fill(dOpacityAct.begin(), dOpacityAct.end(), Real(0));
+    std::fill(dDepth.begin(), dDepth.end(), Real(0));
+}
+
+void
+Gradient2DBuffers::accumulate(const Gradient2DBuffers &other)
+{
+    rtgs_assert(other.size() == size());
+    for (size_t i = 0; i < size(); ++i) {
+        dMean2d[i] += other.dMean2d[i];
+        dConic[i] = dConic[i] + other.dConic[i];
+        dColor[i] += other.dColor[i];
+        dOpacityAct[i] += other.dOpacityAct[i];
+        dDepth[i] += other.dDepth[i];
+    }
+}
+
+Real
+Gradient2DBuffers::magnitude(size_t k) const
+{
+    Real m2 = dMean2d[k].squaredNorm() + dColor[k].squaredNorm() +
+              dOpacityAct[k] * dOpacityAct[k] + dDepth[k] * dDepth[k] +
+              dConic[k].xx * dConic[k].xx + dConic[k].xy * dConic[k].xy +
+              dConic[k].yy * dConic[k].yy;
+    return std::sqrt(m2);
+}
+
+void
+backwardTile(u32 tile, const ProjectedCloud &projected,
+             const TileBins &bins, const TileGrid &grid,
+             const RenderSettings &settings, const RenderResult &result,
+             const ImageRGB &dl_dcolor, const ImageF *dl_ddepth,
+             Gradient2DBuffers &acc)
+{
+    u32 x0, y0, x1, y1;
+    grid.tileBounds(tile, x0, y0, x1, y1);
+    const auto &list = bins.lists[tile];
+
+    std::vector<FragRecord> frags;
+    frags.reserve(64);
+
+    for (u32 py = y0; py < y1; ++py) {
+        for (u32 px = x0; px < x1; ++px) {
+            Vec2f pixel{static_cast<Real>(px) + Real(0.5),
+                        static_cast<Real>(py) + Real(0.5)};
+            Vec3f dl_dc = dl_dcolor.at(px, py);
+            Real dl_dd = dl_ddepth ? dl_ddepth->at(px, py) : Real(0);
+            if (dl_dc.squaredNorm() == 0 && dl_dd == 0)
+                continue;
+
+            // Re-walk the forward pass, recording blended fragments.
+            frags.clear();
+            Real T = 1;
+            for (u32 idx : list) {
+                const Projected2D &g = projected[idx];
+                Vec2f d = pixel - g.mean2d;
+                Real power = Real(-0.5) * g.conic.quadForm(d);
+                if (power > 0)
+                    continue;
+                Real gval = std::exp(power);
+                Real raw_alpha = g.opacity * gval;
+                bool clamped = raw_alpha > settings.alphaMax;
+                Real alpha = clamped ? settings.alphaMax : raw_alpha;
+                if (alpha < settings.alphaMin)
+                    continue;
+                frags.push_back({idx, alpha, gval, d, T, clamped});
+                T *= 1 - alpha;
+                if (T < settings.transmittanceEps)
+                    break;
+            }
+
+            Real t_final = T;
+            Real bg_dot = settings.background.dot(dl_dc);
+
+            // Reverse compositing-order walk (Eq. 4): maintain the
+            // rear-accumulated colour/depth E_j = sum_{n>j} c_n a_n T_n
+            // normalised by T_{j+1}.
+            Vec3f accum_color{};
+            Real accum_depth = 0;
+            Vec3f last_color{};
+            Real last_depth = 0;
+            Real last_alpha = 0;
+
+            for (size_t j = frags.size(); j-- > 0;) {
+                const FragRecord &f = frags[j];
+                const Projected2D &g = projected[f.idx];
+                Real t_before = f.tBefore;
+
+                // Colour gradient: dC/dc_j = alpha_j * T_j.
+                acc.dColor[f.idx] += dl_dc * (f.alpha * t_before);
+                acc.dDepth[f.idx] += dl_dd * (f.alpha * t_before);
+
+                // Alpha gradient (Eq. 4 plus the background term).
+                accum_color = last_color * last_alpha +
+                              accum_color * (1 - last_alpha);
+                accum_depth = last_depth * last_alpha +
+                              accum_depth * (1 - last_alpha);
+                last_color = g.color;
+                last_depth = g.depth;
+                last_alpha = f.alpha;
+
+                Real dl_dalpha =
+                    (g.color - accum_color).dot(dl_dc) * t_before +
+                    (g.depth - accum_depth) * dl_dd * t_before;
+                dl_dalpha += (-t_final / (1 - f.alpha)) * bg_dot;
+
+                if (f.clamped)
+                    continue; // saturation: zero gradient through alpha
+
+                // alpha = opacity * G, G = exp(power).
+                acc.dOpacityAct[f.idx] += f.gval * dl_dalpha;
+                Real dl_dpower = f.alpha * dl_dalpha;
+
+                // power = -0.5 d^T conic d, d = pixel - mean2d.
+                Mat2f conic_full = g.conic.toMat();
+                Vec2f cd = conic_full * f.d;
+                acc.dMean2d[f.idx] += cd * dl_dpower;
+                acc.dConic[f.idx] = acc.dConic[f.idx] +
+                    Sym2f{Real(-0.5) * f.d.x * f.d.x * dl_dpower,
+                          -f.d.x * f.d.y * dl_dpower,
+                          Real(-0.5) * f.d.y * f.d.y * dl_dpower};
+            }
+            (void)result;
+        }
+    }
+}
+
+void
+preprocessBackwardOne(size_t k, const GaussianCloud &cloud,
+                      const Camera &camera, const Gradient2DBuffers &g2d,
+                      const ProjectedCloud &projected, CloudGrads &out,
+                      Twist *pose_grad)
+{
+    const Projected2D &p = projected[k];
+    if (!p.valid)
+        return;
+
+    const Mat3f &W = camera.pose.rot;
+    const Intrinsics &intr = camera.intr;
+    const Vec3f &t = p.camPoint;
+
+    // --- conic -> blurred covariance -> raw covariance ----------------
+    Mat2f dl_dconic = symGradToFull(g2d.dConic[k]);
+    Mat2f conic_full = p.conic.toMat();
+    // d(A^-1) rule: dL/dCov = -C^T dL/dconic C^T (C symmetric).
+    Mat2f dl_dcov_full =
+        (conic_full * dl_dconic * conic_full) * Real(-1);
+    // Blur is additive, so dL/dcov2d passes through unchanged.
+
+    // --- cov2d = T Sigma3 T^T with T = J W ----------------------------
+    Mat3f Rq = cloud.rotations[k].toMat();
+    Vec3f scale{std::exp(cloud.logScales[k].x),
+                std::exp(cloud.logScales[k].y),
+                std::exp(cloud.logScales[k].z)};
+    Mat3f M = Rq * Mat3f::diagonal(scale);
+    Mat3f sigma3 = M * M.transpose();
+
+    bool clamp_x, clamp_y;
+    Vec3f tc = clampedCamPoint(intr, t, clamp_x, clamp_y);
+    Mat2x3f J = intr.projectJacobian(tc);
+    Mat2x3f T2x3 = J * W;
+
+    // dL/dSigma3 (full, symmetric): T^T G T.
+    Mat3f dl_dsigma3;
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            Real v = 0;
+            for (int a = 0; a < 2; ++a)
+                for (int b = 0; b < 2; ++b)
+                    v += T2x3(a, i) * dl_dcov_full(a, b) * T2x3(b, j);
+            dl_dsigma3(i, j) = v;
+        }
+    }
+    out.covGradNorms[k] = std::sqrt(std::max(Real(0), [&] {
+        Real s = 0;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                s += dl_dsigma3(i, j) * dl_dsigma3(i, j);
+        return s;
+    }()));
+
+    // dL/dT (2x3) = 2 G T Sigma3.
+    Mat2x3f dl_dT;
+    {
+        Mat2x3f TS = T2x3 * sigma3;
+        for (int a = 0; a < 2; ++a)
+            for (int i = 0; i < 3; ++i) {
+                Real v = 0;
+                for (int b = 0; b < 2; ++b)
+                    v += 2 * dl_dcov_full(a, b) * TS(b, i);
+                dl_dT(a, i) = v;
+            }
+    }
+
+    // T = J W: dL/dJ = dL/dT W^T; dL/dW = J^T dL/dT.
+    Mat2x3f dl_dJ;
+    for (int a = 0; a < 2; ++a)
+        for (int i = 0; i < 3; ++i) {
+            Real v = 0;
+            for (int j = 0; j < 3; ++j)
+                v += dl_dT(a, j) * W(i, j); // W^T(j,i) = W(i,j)
+            dl_dJ(a, i) = v;
+        }
+    Mat3f dl_dW;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            dl_dW(i, j) = J(0, i) * dl_dT(0, j) + J(1, i) * dl_dT(1, j);
+
+    // --- camera-point gradient dL/dt -----------------------------------
+    // From the 2D mean (exact projection Jacobian at the true point):
+    Vec3f dl_dt = intr.projectJacobian(t).transposeMult(g2d.dMean2d[k]);
+    // From the depth render channel (depth = t.z):
+    dl_dt.z += g2d.dDepth[k];
+    // From J's dependence on the *clamped* point tc: first dL/dtc ...
+    Real fx = intr.fx, fy = intr.fy;
+    Real inv_z = Real(1) / tc.z;
+    Real inv_z2 = inv_z * inv_z;
+    Real inv_z3 = inv_z2 * inv_z;
+    Vec3f dl_dtc{};
+    dl_dtc.x = dl_dJ(0, 2) * (-fx * inv_z2);
+    dl_dtc.y = dl_dJ(1, 2) * (-fy * inv_z2);
+    dl_dtc.z = dl_dJ(0, 0) * (-fx * inv_z2) + dl_dJ(1, 1) * (-fy * inv_z2) +
+               dl_dJ(0, 2) * (2 * fx * tc.x * inv_z3) +
+               dl_dJ(1, 2) * (2 * fy * tc.y * inv_z3);
+    // ... then through the clamp: tc.x = clamp(tx/tz)*tz. Unclamped it
+    // passes straight through; clamped it depends only on tz.
+    dl_dt.x += clamp_x ? Real(0) : dl_dtc.x;
+    dl_dt.y += clamp_y ? Real(0) : dl_dtc.y;
+    dl_dt.z += dl_dtc.z +
+               (clamp_x ? dl_dtc.x * (tc.x * inv_z) : Real(0)) +
+               (clamp_y ? dl_dtc.y * (tc.y * inv_z) : Real(0));
+
+    // --- world position gradient ---------------------------------------
+    Vec3f dl_dpos = W.transpose() * dl_dt;
+    out.dPositions[k] += dl_dpos;
+
+    // --- Sigma3 = M M^T, M = Rq * diag(scale) ---------------------------
+    Mat3f dl_dM = (dl_dsigma3 + dl_dsigma3.transpose()) * M;
+    // dL/dRq = dL/dM diag(scale); dL/dscale_i = column i of Rq^T dL/dM.
+    Mat3f dl_dRq;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            dl_dRq(i, j) = dl_dM(i, j) * scale[j];
+    Vec3f dl_dscale;
+    for (int j = 0; j < 3; ++j) {
+        Real v = 0;
+        for (int i = 0; i < 3; ++i)
+            v += Rq(i, j) * dl_dM(i, j);
+        dl_dscale[j] = v;
+    }
+    // scale = exp(logScale).
+    out.dLogScales[k] += dl_dscale.cwiseProduct(scale);
+
+    Quatf dq = rotationMatrixBackward(cloud.rotations[k], dl_dRq);
+    out.dRotations[k].w += dq.w;
+    out.dRotations[k].x += dq.x;
+    out.dRotations[k].y += dq.y;
+    out.dRotations[k].z += dq.z;
+
+    // --- opacity logit ---------------------------------------------------
+    Real o = p.opacity;
+    out.dOpacityLogits[k] += g2d.dOpacityAct[k] * o * (1 - o);
+
+    // --- SH colour (degree 0 with clamp mask) ---------------------------
+    Vec3f dc = g2d.dColor[k].cwiseProduct(p.colorClampMask);
+    out.dShCoeffs[k] += dc * shC0;
+
+    // --- camera pose twist (tracking): left perturbation ----------------
+    if (pose_grad) {
+        // Through t: dt/drho = I, dt/dphi = -[t]x.
+        pose_grad->rho += dl_dt;
+        pose_grad->phi += t.cross(dl_dt);
+        // Through W (covariance path): dW/dphi_a = skew(e_a) W.
+        const Mat3f &G = dl_dW;
+        Vec3f w0 = W.row(0), w1 = W.row(1), w2 = W.row(2);
+        Vec3f g0 = G.row(0), g1 = G.row(1), g2 = G.row(2);
+        pose_grad->phi.x += -g1.dot(w2) + g2.dot(w1);
+        pose_grad->phi.y += g0.dot(w2) - g2.dot(w0);
+        pose_grad->phi.z += -g0.dot(w1) + g1.dot(w0);
+    }
+}
+
+BackwardResult
+backwardFull(const GaussianCloud &cloud, const ProjectedCloud &projected,
+             const TileBins &bins, const TileGrid &grid,
+             const RenderSettings &settings, const RenderResult &result,
+             const Camera &camera, const ImageRGB &dl_dcolor,
+             const ImageF *dl_ddepth, bool compute_pose_grad)
+{
+    BackwardResult br;
+    br.grad2d.resize(cloud.size());
+    for (u32 t = 0; t < grid.tileCount(); ++t) {
+        backwardTile(t, projected, bins, grid, settings, result,
+                     dl_dcolor, dl_ddepth, br.grad2d);
+    }
+
+    br.grads.resize(cloud.size());
+    Twist pose{};
+    for (size_t k = 0; k < cloud.size(); ++k) {
+        preprocessBackwardOne(k, cloud, camera, br.grad2d, projected,
+                              br.grads, compute_pose_grad ? &pose : nullptr);
+    }
+    br.poseGrad = pose;
+    return br;
+}
+
+} // namespace rtgs::gs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Steps 4 and 5 of the pipeline: Rendering Backpropagation and
+ * Preprocessing Backpropagation.
+ *
+ * Step 4 propagates per-pixel colour/depth loss gradients to pixel-level
+ * 2D Gaussian gradients (Eq. 4/5) and aggregates them per Gaussian —
+ * the aggregation whose memory behaviour the GMU targets. Step 5
+ * propagates 2D Gaussian gradients to the 3D parameters, and (for
+ * tracking) to the camera pose twist dL/dP.
+ */
+
+#ifndef RTGS_GS_BACKWARD_HH
+#define RTGS_GS_BACKWARD_HH
+
+#include <vector>
+
+#include "geometry/camera.hh"
+#include "gs/rasterizer.hh"
+
+namespace rtgs::gs
+{
+
+/**
+ * Per-Gaussian 2D gradient accumulators (the dL/dG2D of the paper).
+ * The symmetric `dConic` stores the off-diagonal as the *sum* of both
+ * matrix entries; helpers in the implementation convert to full-matrix
+ * form for the chain rule.
+ */
+struct Gradient2DBuffers
+{
+    std::vector<Vec2f> dMean2d;
+    std::vector<Sym2f> dConic;
+    std::vector<Vec3f> dColor;       //!< w.r.t. activated RGB
+    std::vector<Real> dOpacityAct;   //!< w.r.t. activated opacity
+    std::vector<Real> dDepth;        //!< w.r.t. camera-space depth
+
+    void resize(size_t n);
+    void setZero();
+    size_t size() const { return dMean2d.size(); }
+    void accumulate(const Gradient2DBuffers &other);
+
+    /** L2 magnitude of the combined 2D gradient of Gaussian k. */
+    Real magnitude(size_t k) const;
+};
+
+/** Everything the backward pass produces. */
+struct BackwardResult
+{
+    CloudGrads grads;        //!< dL/dG3D (raw-parameter gradients)
+    Twist poseGrad;          //!< dL/dP (left-perturbation twist)
+    Gradient2DBuffers grad2d; //!< aggregated dL/dG2D (kept for HW models)
+};
+
+/**
+ * Step 4 for a single tile: walk each pixel's blended fragments in
+ * reverse compositing order and accumulate 2D gradients into `acc`.
+ *
+ * @param dl_dcolor  per-pixel dL/dC (same shape as the image)
+ * @param dl_ddepth  optional per-pixel dL/dDepth (nullptr to disable)
+ */
+void backwardTile(u32 tile, const ProjectedCloud &projected,
+                  const TileBins &bins, const TileGrid &grid,
+                  const RenderSettings &settings,
+                  const RenderResult &result, const ImageRGB &dl_dcolor,
+                  const ImageF *dl_ddepth, Gradient2DBuffers &acc);
+
+/**
+ * Step 5 for one Gaussian: transform its aggregated 2D gradients into 3D
+ * parameter gradients, and optionally accumulate the camera pose twist.
+ */
+void preprocessBackwardOne(size_t k, const GaussianCloud &cloud,
+                           const Camera &camera,
+                           const Gradient2DBuffers &g2d,
+                           const ProjectedCloud &projected,
+                           CloudGrads &out, Twist *pose_grad);
+
+/**
+ * Full backward pass (Steps 4+5) over all tiles, single-threaded.
+ * The multithreaded variant lives in RenderPipeline.
+ *
+ * @param compute_pose_grad accumulate dL/dP (tracking) when true
+ */
+BackwardResult backwardFull(const GaussianCloud &cloud,
+                            const ProjectedCloud &projected,
+                            const TileBins &bins, const TileGrid &grid,
+                            const RenderSettings &settings,
+                            const RenderResult &result,
+                            const Camera &camera,
+                            const ImageRGB &dl_dcolor,
+                            const ImageF *dl_ddepth,
+                            bool compute_pose_grad);
+
+} // namespace rtgs::gs
+
+#endif // RTGS_GS_BACKWARD_HH

@@ -1,0 +1,136 @@
+#include "gs/gaussian.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtgs::gs
+{
+
+size_t
+GaussianCloud::activeCount() const
+{
+    size_t n = 0;
+    for (u8 a : active)
+        n += a ? 1 : 0;
+    return n;
+}
+
+void
+GaussianCloud::push(const Vec3f &pos, const Vec3f &log_scale,
+                    const Quatf &rot, Real opacity_logit, const Vec3f &sh)
+{
+    positions.push_back(pos);
+    logScales.push_back(log_scale);
+    rotations.push_back(rot);
+    opacityLogits.push_back(opacity_logit);
+    shCoeffs.push_back(sh);
+    active.push_back(1);
+}
+
+void
+GaussianCloud::pushIsotropic(const Vec3f &pos, Real scale, Real opacity,
+                             const Vec3f &rgb)
+{
+    rtgs_assert(scale > 0 && opacity > 0 && opacity < 1);
+    Real ls = std::log(scale);
+    push(pos, {ls, ls, ls}, Quatf::identity(), inverseSigmoid(opacity),
+         rgbToSh(rgb));
+}
+
+void
+GaussianCloud::compact(const std::vector<u8> &keep)
+{
+    rtgs_assert(keep.size() == size());
+    size_t w = 0;
+    for (size_t r = 0; r < size(); ++r) {
+        if (!keep[r])
+            continue;
+        if (w != r) {
+            positions[w] = positions[r];
+            logScales[w] = logScales[r];
+            rotations[w] = rotations[r];
+            opacityLogits[w] = opacityLogits[r];
+            shCoeffs[w] = shCoeffs[r];
+            active[w] = active[r];
+        }
+        ++w;
+    }
+    positions.resize(w);
+    logScales.resize(w);
+    rotations.resize(w);
+    opacityLogits.resize(w);
+    shCoeffs.resize(w);
+    active.resize(w);
+}
+
+void
+GaussianCloud::reserve(size_t n)
+{
+    positions.reserve(n);
+    logScales.reserve(n);
+    rotations.reserve(n);
+    opacityLogits.reserve(n);
+    shCoeffs.reserve(n);
+    active.reserve(n);
+}
+
+void
+GaussianCloud::clear()
+{
+    positions.clear();
+    logScales.clear();
+    rotations.clear();
+    opacityLogits.clear();
+    shCoeffs.clear();
+    active.clear();
+}
+
+size_t
+GaussianCloud::parameterBytes() const
+{
+    // pos(12) + logScale(12) + quat(16) + opacity(4) + sh(12) + mask(1)
+    return size() * (12 + 12 + 16 + 4 + 12 + 1);
+}
+
+void
+CloudGrads::resize(size_t n)
+{
+    dPositions.assign(n, {});
+    dLogScales.assign(n, {});
+    dRotations.assign(n, {0, 0, 0, 0});
+    dOpacityLogits.assign(n, 0);
+    dShCoeffs.assign(n, {});
+    covGradNorms.assign(n, 0);
+}
+
+void
+CloudGrads::setZero()
+{
+    std::fill(dPositions.begin(), dPositions.end(), Vec3f{});
+    std::fill(dLogScales.begin(), dLogScales.end(), Vec3f{});
+    std::fill(dRotations.begin(), dRotations.end(), Quatf{0, 0, 0, 0});
+    std::fill(dOpacityLogits.begin(), dOpacityLogits.end(), Real(0));
+    std::fill(dShCoeffs.begin(), dShCoeffs.end(), Vec3f{});
+    std::fill(covGradNorms.begin(), covGradNorms.end(), Real(0));
+}
+
+void
+CloudGrads::accumulate(const CloudGrads &other)
+{
+    rtgs_assert(other.size() == size());
+    for (size_t i = 0; i < size(); ++i) {
+        dPositions[i] += other.dPositions[i];
+        dLogScales[i] += other.dLogScales[i];
+        dRotations[i].w += other.dRotations[i].w;
+        dRotations[i].x += other.dRotations[i].x;
+        dRotations[i].y += other.dRotations[i].y;
+        dRotations[i].z += other.dRotations[i].z;
+        dOpacityLogits[i] += other.dOpacityLogits[i];
+        dShCoeffs[i] += other.dShCoeffs[i];
+        covGradNorms[i] += other.covGradNorms[i];
+    }
+}
+
+} // namespace rtgs::gs

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The 3D Gaussian scene representation (Eq. 1 of the paper).
+ *
+ * Parameters are stored in raw (pre-activation) form exactly as they are
+ * optimised: log-scales, opacity logits, and zeroth-order SH colour
+ * coefficients. Activations (exp / sigmoid / SH evaluation) happen during
+ * projection so gradients flow through them in the backward pass.
+ */
+
+#ifndef RTGS_GS_GAUSSIAN_HH
+#define RTGS_GS_GAUSSIAN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+#include "geometry/quat.hh"
+#include "geometry/vec.hh"
+
+namespace rtgs::gs
+{
+
+/** Zeroth-order SH basis constant. */
+inline constexpr Real shC0 = Real(0.28209479177387814);
+
+/** Sigmoid activation for opacity. */
+inline Real
+sigmoid(Real x)
+{
+    return Real(1) / (Real(1) + std::exp(-x));
+}
+
+/** Inverse sigmoid, for initialising opacity logits. */
+inline Real
+inverseSigmoid(Real y)
+{
+    return std::log(y / (Real(1) - y));
+}
+
+/**
+ * Structure-of-arrays container of 3D Gaussians.
+ *
+ * `active` implements the paper's mask-prune protocol: masked Gaussians
+ * stay in memory (so tile-intersection change ratios can still be
+ * evaluated) but are excluded from projection and rendering.
+ */
+class GaussianCloud
+{
+  public:
+    std::vector<Vec3f> positions;      //!< 3D means (world space)
+    std::vector<Vec3f> logScales;      //!< per-axis log scale
+    std::vector<Quatf> rotations;      //!< raw (unnormalised) orientation
+    std::vector<Real> opacityLogits;   //!< pre-sigmoid opacity
+    std::vector<Vec3f> shCoeffs;       //!< SH degree-0 colour coefficients
+    std::vector<u8> active;            //!< 1 = rendered, 0 = masked
+
+    size_t size() const { return positions.size(); }
+    bool empty() const { return positions.empty(); }
+
+    /** Count of unmasked Gaussians. */
+    size_t activeCount() const;
+
+    /** Append one Gaussian (active by default). */
+    void push(const Vec3f &pos, const Vec3f &log_scale, const Quatf &rot,
+              Real opacity_logit, const Vec3f &sh);
+
+    /** Append an isotropic Gaussian from intuitive parameters. */
+    void pushIsotropic(const Vec3f &pos, Real scale, Real opacity,
+                       const Vec3f &rgb);
+
+    /** Drop all Gaussians whose keep flag is false, compacting storage. */
+    void compact(const std::vector<u8> &keep);
+
+    /** Reserve storage for n Gaussians. */
+    void reserve(size_t n);
+
+    /** Remove all Gaussians. */
+    void clear();
+
+    /** Activated opacity of Gaussian k. */
+    Real opacity(size_t k) const { return sigmoid(opacityLogits[k]); }
+
+    /** Activated (clamped) RGB colour of Gaussian k. */
+    Vec3f
+    color(size_t k) const
+    {
+        Vec3f c = shCoeffs[k] * shC0 + Vec3f{0.5f, 0.5f, 0.5f};
+        return {std::max(Real(0), c.x), std::max(Real(0), c.y),
+                std::max(Real(0), c.z)};
+    }
+
+    /** SH coefficient that yields the given RGB under color(). */
+    static Vec3f
+    rgbToSh(const Vec3f &rgb)
+    {
+        return (rgb - Vec3f{0.5f, 0.5f, 0.5f}) * (Real(1) / shC0);
+    }
+
+    /** Approximate resident bytes of the cloud's parameter storage. */
+    size_t parameterBytes() const;
+};
+
+/**
+ * Gradient accumulator with the same SoA layout as GaussianCloud.
+ * All entries are with respect to the raw (pre-activation) parameters.
+ */
+struct CloudGrads
+{
+    std::vector<Vec3f> dPositions;
+    std::vector<Vec3f> dLogScales;
+    std::vector<Quatf> dRotations;
+    std::vector<Real> dOpacityLogits;
+    std::vector<Vec3f> dShCoeffs;
+
+    void resize(size_t n);
+    void setZero();
+    size_t size() const { return dPositions.size(); }
+
+    /** Elementwise in-place sum; shapes must match. */
+    void accumulate(const CloudGrads &other);
+
+    /**
+     * dL/dSigma (3D covariance) Frobenius norm per Gaussian, needed by
+     * the Eq. 7 importance score.
+     */
+    std::vector<Real> covGradNorms;
+};
+
+} // namespace rtgs::gs
+
+#endif // RTGS_GS_GAUSSIAN_HH

@@ -1,0 +1,103 @@
+#include "gs/rasterizer.hh"
+
+#include <cmath>
+
+namespace rtgs::gs
+{
+
+u64
+RenderResult::totalFragments() const
+{
+    u64 n = 0;
+    for (size_t i = 0; i < nContrib.pixelCount(); ++i)
+        n += nContrib[i];
+    return n;
+}
+
+u64
+RenderResult::totalBlended() const
+{
+    u64 n = 0;
+    for (size_t i = 0; i < nBlended.pixelCount(); ++i)
+        n += nBlended[i];
+    return n;
+}
+
+RenderResult
+makeRenderResult(const TileGrid &grid)
+{
+    RenderResult r;
+    r.image = ImageRGB(grid.width, grid.height);
+    r.depth = ImageF(grid.width, grid.height);
+    r.alpha = ImageF(grid.width, grid.height);
+    r.finalT = ImageF(grid.width, grid.height, Real(1));
+    r.nContrib = Image<u32>(grid.width, grid.height);
+    r.nBlended = Image<u32>(grid.width, grid.height);
+    return r;
+}
+
+void
+rasterizeTile(u32 tile, const ProjectedCloud &projected,
+              const TileBins &bins, const TileGrid &grid,
+              const RenderSettings &settings, RenderResult &result)
+{
+    u32 x0, y0, x1, y1;
+    grid.tileBounds(tile, x0, y0, x1, y1);
+    const auto &list = bins.lists[tile];
+
+    for (u32 py = y0; py < y1; ++py) {
+        for (u32 px = x0; px < x1; ++px) {
+            // Pixel centre convention matches the reference rasteriser.
+            Vec2f pixel{static_cast<Real>(px) + Real(0.5),
+                        static_cast<Real>(py) + Real(0.5)};
+            Real T = 1;
+            Vec3f color{};
+            Real depth_acc = 0;
+            u32 iterated = 0;
+            u32 blended = 0;
+
+            for (u32 idx : list) {
+                const Projected2D &g = projected[idx];
+                ++iterated;
+
+                Vec2f d = pixel - g.mean2d;
+                Real power = Real(-0.5) * g.conic.quadForm(d);
+                if (power > 0)
+                    continue;
+                Real alpha = std::min(settings.alphaMax,
+                                      g.opacity * std::exp(power));
+                if (alpha < settings.alphaMin)
+                    continue;
+
+                Real t_next = T * (1 - alpha);
+                // Early termination preserves compositing order (Sec 2.1).
+                color += g.color * (alpha * T);
+                depth_acc += g.depth * (alpha * T);
+                ++blended;
+                T = t_next;
+                if (T < settings.transmittanceEps)
+                    break;
+            }
+
+            color += settings.background * T;
+            result.image.at(px, py) = color;
+            result.depth.at(px, py) = depth_acc;
+            result.alpha.at(px, py) = 1 - T;
+            result.finalT.at(px, py) = T;
+            result.nContrib.at(px, py) = iterated;
+            result.nBlended.at(px, py) = blended;
+        }
+    }
+}
+
+RenderResult
+rasterize(const ProjectedCloud &projected, const TileBins &bins,
+          const TileGrid &grid, const RenderSettings &settings)
+{
+    RenderResult result = makeRenderResult(grid);
+    for (u32 t = 0; t < grid.tileCount(); ++t)
+        rasterizeTile(t, projected, bins, grid, settings, result);
+    return result;
+}
+
+} // namespace rtgs::gs

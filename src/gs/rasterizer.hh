@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Step 3 (Rendering): per-pixel alpha computing (Eq. 2) and front-to-back
+ * alpha blending (Eq. 3) with early ray termination.
+ *
+ * Besides the image, the rasterizer captures the per-pixel workload
+ * counters the paper's hardware models consume: fragments iterated
+ * (Gaussians examined) and fragments blended (alpha above threshold).
+ */
+
+#ifndef RTGS_GS_RASTERIZER_HH
+#define RTGS_GS_RASTERIZER_HH
+
+#include "image/image.hh"
+#include "gs/sorting.hh"
+#include "gs/tiling.hh"
+
+namespace rtgs::gs
+{
+
+/** Forward rendering outputs, kept for the backward pass. */
+struct RenderResult
+{
+    ImageRGB image;          //!< composited colour (with background)
+    ImageF depth;            //!< alpha-weighted expected depth
+    ImageF alpha;            //!< per-pixel final opacity (1 - T_final)
+    ImageF finalT;           //!< final transmittance per pixel
+    Image<u32> nContrib;     //!< fragments iterated before termination
+    Image<u32> nBlended;     //!< fragments that passed the alpha threshold
+
+    /** Total fragments iterated over the frame. */
+    u64 totalFragments() const;
+
+    /** Total fragments blended over the frame. */
+    u64 totalBlended() const;
+};
+
+/**
+ * Rasterise one tile into the result images. Exposed separately so the
+ * render pipeline can parallelise over tiles.
+ */
+void rasterizeTile(u32 tile, const ProjectedCloud &projected,
+                   const TileBins &bins, const TileGrid &grid,
+                   const RenderSettings &settings, RenderResult &result);
+
+/** Rasterise the whole frame single-threaded (tests, small images). */
+RenderResult rasterize(const ProjectedCloud &projected,
+                       const TileBins &bins, const TileGrid &grid,
+                       const RenderSettings &settings);
+
+/** Allocate a RenderResult of the grid's image size. */
+RenderResult makeRenderResult(const TileGrid &grid);
+
+} // namespace rtgs::gs
+
+#endif // RTGS_GS_RASTERIZER_HH

@@ -1,0 +1,94 @@
+#include "gs/render_pipeline.hh"
+
+#include <algorithm>
+
+#include "common/thread_pool.hh"
+
+namespace rtgs::gs
+{
+
+RenderPipeline::RenderPipeline(const RenderSettings &settings)
+    : settings_(settings)
+{
+}
+
+ForwardContext
+RenderPipeline::forward(const GaussianCloud &cloud,
+                        const Camera &camera) const
+{
+    ForwardContext ctx;
+    ctx.camera = camera;
+    ctx.grid = TileGrid(camera.intr.width, camera.intr.height,
+                        settings_.tileSize);
+    ctx.projected = projectGaussians(cloud, camera, settings_);
+    ctx.bins = intersectTiles(ctx.projected, ctx.grid);
+    sortTilesByDepth(ctx.bins, ctx.projected);
+
+    ctx.result = makeRenderResult(ctx.grid);
+    ThreadPool &pool = globalPool();
+    pool.parallelFor(0, ctx.grid.tileCount(), [&](size_t t) {
+        rasterizeTile(static_cast<u32>(t), ctx.projected, ctx.bins,
+                      ctx.grid, settings_, ctx.result);
+    });
+    return ctx;
+}
+
+BackwardResult
+RenderPipeline::backward(const GaussianCloud &cloud,
+                         const ForwardContext &ctx,
+                         const ImageRGB &dl_dcolor,
+                         const ImageF *dl_ddepth,
+                         bool compute_pose_grad) const
+{
+    ThreadPool &pool = globalPool();
+    size_t workers = std::max<size_t>(1, pool.size());
+    size_t tiles = ctx.grid.tileCount();
+    workers = std::min(workers, tiles);
+
+    // Per-worker 2D gradient accumulators avoid the atomic contention a
+    // GPU pays here (the very contention the GMU hardware removes).
+    std::vector<Gradient2DBuffers> partial(workers);
+    for (auto &buf : partial)
+        buf.resize(cloud.size());
+
+    size_t chunk = (tiles + workers - 1) / workers;
+    pool.parallelFor(0, workers, [&](size_t w) {
+        size_t lo = w * chunk;
+        size_t hi = std::min(tiles, lo + chunk);
+        for (size_t t = lo; t < hi; ++t) {
+            backwardTile(static_cast<u32>(t), ctx.projected, ctx.bins,
+                         ctx.grid, settings_, ctx.result, dl_dcolor,
+                         dl_ddepth, partial[w]);
+        }
+    });
+
+    BackwardResult br;
+    br.grad2d = std::move(partial[0]);
+    for (size_t w = 1; w < workers; ++w)
+        br.grad2d.accumulate(partial[w]);
+
+    br.grads.resize(cloud.size());
+    // Preprocessing BP is embarrassingly parallel over Gaussians, but the
+    // pose twist must be reduced; chunk it like the tiles above.
+    size_t n = cloud.size();
+    size_t gworkers = std::min(workers, std::max<size_t>(1, n));
+    std::vector<Twist> pose_partial(gworkers);
+    size_t gchunk = (n + gworkers - 1) / gworkers;
+    pool.parallelFor(0, gworkers, [&](size_t w) {
+        size_t lo = w * gchunk;
+        size_t hi = std::min(n, lo + gchunk);
+        for (size_t k = lo; k < hi; ++k) {
+            preprocessBackwardOne(k, cloud, ctx.camera, br.grad2d,
+                                  ctx.projected, br.grads,
+                                  compute_pose_grad ?
+                                  &pose_partial[w] : nullptr);
+        }
+    });
+    Twist pose{};
+    for (const auto &p : pose_partial)
+        pose = pose + p;
+    br.poseGrad = pose;
+    return br;
+}
+
+} // namespace rtgs::gs

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * End-to-end differentiable rendering: orchestrates Steps 1-5 with
+ * tile-level multithreading, and retains every intermediate the SLAM
+ * layer and the hardware models need (projected Gaussians, tile bins,
+ * per-pixel workload counters).
+ */
+
+#ifndef RTGS_GS_RENDER_PIPELINE_HH
+#define RTGS_GS_RENDER_PIPELINE_HH
+
+#include <memory>
+
+#include "gs/backward.hh"
+
+namespace rtgs::gs
+{
+
+/** All forward-pass intermediates for one rendered view. */
+struct ForwardContext
+{
+    Camera camera;
+    TileGrid grid;
+    ProjectedCloud projected;
+    TileBins bins;
+    RenderResult result;
+};
+
+/**
+ * Thread-parallel renderer. Stateless apart from settings; safe to share
+ * across frames.
+ */
+class RenderPipeline
+{
+  public:
+    explicit RenderPipeline(const RenderSettings &settings = {});
+
+    const RenderSettings &settings() const { return settings_; }
+    RenderSettings &settings() { return settings_; }
+
+    /** Steps 1-3: project, bin, sort, rasterise. */
+    ForwardContext forward(const GaussianCloud &cloud,
+                           const Camera &camera) const;
+
+    /**
+     * Steps 4-5 from a forward context and per-pixel loss gradients.
+     *
+     * @param compute_pose_grad accumulate dL/dP (tracking stages)
+     */
+    BackwardResult backward(const GaussianCloud &cloud,
+                            const ForwardContext &ctx,
+                            const ImageRGB &dl_dcolor,
+                            const ImageF *dl_ddepth,
+                            bool compute_pose_grad) const;
+
+  private:
+    RenderSettings settings_;
+};
+
+} // namespace rtgs::gs
+
+#endif // RTGS_GS_RENDER_PIPELINE_HH

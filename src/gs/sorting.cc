@@ -1,0 +1,31 @@
+#include "gs/sorting.hh"
+
+#include <algorithm>
+
+namespace rtgs::gs
+{
+
+void
+sortTilesByDepth(TileBins &bins, const ProjectedCloud &projected)
+{
+    for (auto &list : bins.lists) {
+        std::stable_sort(list.begin(), list.end(),
+                         [&projected](u32 a, u32 b) {
+                             return projected[a].depth < projected[b].depth;
+                         });
+    }
+}
+
+bool
+tilesAreDepthSorted(const TileBins &bins, const ProjectedCloud &projected)
+{
+    for (const auto &list : bins.lists) {
+        for (size_t i = 1; i < list.size(); ++i) {
+            if (projected[list[i - 1]].depth > projected[list[i]].depth)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace rtgs::gs

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Step 2 (Sorting): order each tile's Gaussians front-to-back by
+ * camera-space depth so alpha blending composites correctly.
+ */
+
+#ifndef RTGS_GS_SORTING_HH
+#define RTGS_GS_SORTING_HH
+
+#include "gs/tiling.hh"
+
+namespace rtgs::gs
+{
+
+/** Sort every tile list in place by ascending depth (stable). */
+void sortTilesByDepth(TileBins &bins, const ProjectedCloud &projected);
+
+/** True if every tile list is in non-decreasing depth order. */
+bool tilesAreDepthSorted(const TileBins &bins,
+                         const ProjectedCloud &projected);
+
+} // namespace rtgs::gs
+
+#endif // RTGS_GS_SORTING_HH

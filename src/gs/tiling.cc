@@ -1,0 +1,74 @@
+#include "gs/tiling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtgs::gs
+{
+
+TileGrid::TileGrid(u32 image_w, u32 image_h, u32 tile_size)
+    : tileSize(tile_size), width(image_w), height(image_h)
+{
+    rtgs_assert(tile_size > 0 && image_w > 0 && image_h > 0);
+    tilesX = (image_w + tile_size - 1) / tile_size;
+    tilesY = (image_h + tile_size - 1) / tile_size;
+}
+
+void
+TileGrid::tileBounds(u32 tile, u32 &x0, u32 &y0, u32 &x1, u32 &y1) const
+{
+    u32 tx = tile % tilesX;
+    u32 ty = tile / tilesX;
+    x0 = tx * tileSize;
+    y0 = ty * tileSize;
+    x1 = std::min(width, x0 + tileSize);
+    y1 = std::min(height, y0 + tileSize);
+}
+
+u64
+TileBins::totalIntersections() const
+{
+    u64 n = 0;
+    for (const auto &l : lists)
+        n += l.size();
+    return n;
+}
+
+TileBins
+intersectTiles(const ProjectedCloud &projected, const TileGrid &grid)
+{
+    TileBins bins;
+    bins.lists.resize(grid.tileCount());
+
+    auto clamp_tile = [](long v, long hi) {
+        return static_cast<u32>(std::clamp<long>(v, 0, hi));
+    };
+
+    for (size_t k = 0; k < projected.size(); ++k) {
+        const Projected2D &p = projected[k];
+        if (!p.valid)
+            continue;
+        long ts = static_cast<long>(grid.tileSize);
+        long tx0 = static_cast<long>(
+            std::floor((p.mean2d.x - p.radius) / ts));
+        long tx1 = static_cast<long>(
+            std::floor((p.mean2d.x + p.radius) / ts));
+        long ty0 = static_cast<long>(
+            std::floor((p.mean2d.y - p.radius) / ts));
+        long ty1 = static_cast<long>(
+            std::floor((p.mean2d.y + p.radius) / ts));
+        tx0 = clamp_tile(tx0, grid.tilesX - 1);
+        tx1 = clamp_tile(tx1, grid.tilesX - 1);
+        ty0 = clamp_tile(ty0, grid.tilesY - 1);
+        ty1 = clamp_tile(ty1, grid.tilesY - 1);
+        for (long ty = ty0; ty <= ty1; ++ty)
+            for (long tx = tx0; tx <= tx1; ++tx)
+                bins.lists[static_cast<size_t>(ty) * grid.tilesX + tx]
+                    .push_back(static_cast<u32>(k));
+    }
+    return bins;
+}
+
+} // namespace rtgs::gs

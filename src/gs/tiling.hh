@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Step 1-2 (Tile intersection): assign projected 2D Gaussians to the
+ * 16x16-pixel tiles their footprint overlaps.
+ */
+
+#ifndef RTGS_GS_TILING_HH
+#define RTGS_GS_TILING_HH
+
+#include <vector>
+
+#include "gs/projection.hh"
+
+namespace rtgs::gs
+{
+
+/** Image-space tile grid. */
+struct TileGrid
+{
+    u32 tileSize = 16;
+    u32 width = 0;   //!< image width in pixels
+    u32 height = 0;  //!< image height in pixels
+    u32 tilesX = 0;
+    u32 tilesY = 0;
+
+    TileGrid() = default;
+    TileGrid(u32 image_w, u32 image_h, u32 tile_size);
+
+    u32 tileCount() const { return tilesX * tilesY; }
+
+    u32 tileOfPixel(u32 x, u32 y) const
+    {
+        return (y / tileSize) * tilesX + (x / tileSize);
+    }
+
+    /** Pixel bounds [x0,x1) x [y0,y1) of a tile (clipped to the image). */
+    void tileBounds(u32 tile, u32 &x0, u32 &y0, u32 &x1, u32 &y1) const;
+};
+
+/**
+ * Per-tile Gaussian index lists. `lists[t]` holds the indices (into the
+ * ProjectedCloud) of every Gaussian whose footprint touches tile t, in
+ * arbitrary order (sorting happens in Step 2).
+ */
+struct TileBins
+{
+    std::vector<std::vector<u32>> lists;
+
+    /** Total tile-Gaussian intersection count (used by adaptive pruning). */
+    u64 totalIntersections() const;
+};
+
+/** Assign each valid projected Gaussian to all tiles it overlaps. */
+TileBins intersectTiles(const ProjectedCloud &projected,
+                        const TileGrid &grid);
+
+} // namespace rtgs::gs
+
+#endif // RTGS_GS_TILING_HH

@@ -1,0 +1,56 @@
+#include "hw/config.hh"
+
+namespace rtgs::hw
+{
+
+u32
+RtgsHwConfig::totalSramKb() const
+{
+    return gaussianCacheKb + pixelBufferKb + twoDBufferKb + rbBufferKb +
+           stageBufferKb + threeDBufferKb + outputBufferKb + wsuBufferKb;
+}
+
+RtgsHwConfig
+RtgsHwConfig::paper()
+{
+    return {};
+}
+
+GpuSpec
+GpuSpec::onx()
+{
+    GpuSpec s;
+    s.name = "ONX";
+    s.technologyNm = 8;
+    s.cudaCores = 512;
+    s.clockGhz = 0.5;
+    s.powerWatts = 15;
+    s.dramBandwidthGBs = 104;
+    s.sramMb = 4;
+    s.areaMm2 = 450;
+    return s;
+}
+
+GpuSpec
+GpuSpec::rtx3090()
+{
+    GpuSpec s;
+    s.name = "RTX3090";
+    s.technologyNm = 8;
+    s.cudaCores = 5248;
+    s.clockGhz = 1.4;
+    s.powerWatts = 352;
+    s.dramBandwidthGBs = 936;
+    s.sramMb = 80.25;
+    s.areaMm2 = 628;
+    s.utilization = 0.08;
+    return s;
+}
+
+GauSpuSpec
+GauSpuSpec::paper()
+{
+    return {};
+}
+
+} // namespace rtgs::hw

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Hardware configurations: the RTGS plug-in (Table 4), the GPUs it
+ * integrates with, and the GauSPU comparator (Table 5).
+ */
+
+#ifndef RTGS_HW_CONFIG_HH
+#define RTGS_HW_CONFIG_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace rtgs::hw
+{
+
+/** RTGS plug-in configuration (Table 4 of the paper). */
+struct RtgsHwConfig
+{
+    // Technology / physical.
+    u32 technologyNm = 28;
+    double clockGhz = 0.5;   //!< 500 MHz operating frequency
+    double powerWatts = 8.11;
+    double areaMm2 = 28.41;
+
+    // Compute resources.
+    u32 reCount = 16;        //!< Rendering Engines
+    u32 rcPerRe = 8;         //!< Rendering Cores per RE
+    u32 rbcPerRe = 8;        //!< Rendering Backprop Cores per RE
+    u32 peCount = 16;        //!< Preprocessing Engines
+    u32 gmuCount = 4;        //!< Gradient Merging Units
+    u32 gaussiansPerPe = 16; //!< PE SIMD width over Gaussians
+
+    // Geometry.
+    u32 tileSize = 16;       //!< pixels per tile side
+    u32 subtileSize = 4;     //!< pixels per subtile side (4x4 = 16 px)
+
+    // Pipeline unit latencies (Sec. 5.2).
+    u32 alphaComputeCycles = 12;
+    u32 alphaBlendCycles = 3;
+    u32 alphaGradCyclesNoReuse = 20; //!< recompute path
+    u32 alphaGradCyclesReuse = 4;    //!< with the R&B Buffer
+    u32 covPosGradCycles = 8;
+
+    // Memory allocation (KB), Table 4.
+    u32 gaussianCacheKb = 80;
+    u32 pixelBufferKb = 24;
+    u32 twoDBufferKb = 20;
+    u32 rbBufferKb = 16;
+    u32 stageBufferKb = 16;
+    u32 threeDBufferKb = 10;
+    u32 outputBufferKb = 15;
+    u32 wsuBufferKb = 16;
+    u32 l2CacheMb = 2;
+
+    /** Total plug-in SRAM in KB (197 KB in Table 4). */
+    u32 totalSramKb() const;
+
+    /** The paper's configuration. */
+    static RtgsHwConfig paper();
+};
+
+/** GPU device description (Table 5 rows). */
+struct GpuSpec
+{
+    std::string name;
+    u32 technologyNm = 8;
+    u32 cudaCores = 512;
+    double clockGhz = 0.5;    //!< modelled at the plug-in's clock
+    double powerWatts = 15;
+    double dramBandwidthGBs = 104; //!< LPDDR5 (Sec. 6.1)
+    double sramMb = 4;
+    double areaMm2 = 450;
+    /**
+     * Achieved/peak throughput on 3DGS-SLAM kernels. Edge GPUs with few
+     * SMs saturate reasonably; large discrete GPUs lose most of their
+     * peak to divergence, small kernels and atomic storms (SplaTAM
+     * tracks at 2.7 FPS on an RTX 3090 in the paper's Table 7).
+     */
+    double utilization = 0.6;
+
+    /** Peak FP32 throughput in GFLOP/s (2 FLOPs per core per cycle). */
+    double peakGflops() const { return cudaCores * 2.0 * clockGhz; }
+
+    /** Jetson Orin NX-like edge GPU (the paper's ONX baseline). */
+    static GpuSpec onx();
+
+    /** RTX 3090 (GauSPU's host GPU). */
+    static GpuSpec rtx3090();
+};
+
+/** GauSPU comparator specification (Table 5). */
+struct GauSpuSpec
+{
+    u32 technologyNm = 12;
+    double powerWatts = 9.4;
+    double areaMm2 = 30;
+    u32 reCount = 128;
+    u32 beCount = 32;
+    double sramKb = 560;
+
+    static GauSpuSpec paper();
+};
+
+} // namespace rtgs::hw
+
+#endif // RTGS_HW_CONFIG_HH

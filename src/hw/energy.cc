@@ -1,0 +1,47 @@
+#include "hw/energy.hh"
+
+#include "common/logging.hh"
+
+namespace rtgs::hw
+{
+
+double
+TechScaling::areaFactor(u32 target_nm)
+{
+    // Anchored to Table 5: 28.41 mm^2 -> 6.49 mm^2 (12 nm) -> 2.40 mm^2
+    // (8 nm).
+    switch (target_nm) {
+      case 28: return 1.0;
+      case 12: return 6.49 / 28.41;
+      case 8: return 2.40 / 28.41;
+      default:
+        fatal("no scaling data for %u nm (supported: 28, 12, 8)",
+              target_nm);
+    }
+}
+
+double
+TechScaling::powerFactor(u32 target_nm)
+{
+    // Table 5: 8.11 W -> 4.63 W (12 nm) -> 3.76 W (8 nm).
+    switch (target_nm) {
+      case 28: return 1.0;
+      case 12: return 4.63 / 8.11;
+      case 8: return 3.76 / 8.11;
+      default:
+        fatal("no scaling data for %u nm (supported: 28, 12, 8)",
+              target_nm);
+    }
+}
+
+RtgsHwConfig
+TechScaling::scaleConfig(const RtgsHwConfig &base, u32 target_nm)
+{
+    RtgsHwConfig scaled = base;
+    scaled.technologyNm = target_nm;
+    scaled.areaMm2 = base.areaMm2 * areaFactor(target_nm);
+    scaled.powerWatts = base.powerWatts * powerFactor(target_nm);
+    return scaled;
+}
+
+} // namespace rtgs::hw

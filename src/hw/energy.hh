@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Energy and area models: busy-time x device-power energy accounting
+ * (the paper reports energy-per-frame ratios) and DeepScaleTool-style
+ * technology scaling for Table 5's 12 nm / 8 nm plug-in variants.
+ */
+
+#ifndef RTGS_HW_ENERGY_HH
+#define RTGS_HW_ENERGY_HH
+
+#include "hw/config.hh"
+
+namespace rtgs::hw
+{
+
+/** Energy spent by one device over one frame. */
+struct EnergyReport
+{
+    double seconds = 0;
+    double watts = 0;
+    double joules() const { return seconds * watts; }
+};
+
+/**
+ * Energy of a frame split across devices (GPU handles preprocessing +
+ * sorting; the plug-in handles rendering + BP).
+ */
+struct SystemEnergy
+{
+    EnergyReport gpu;
+    EnergyReport plugin;
+    double joules() const { return gpu.joules() + plugin.joules(); }
+};
+
+/**
+ * Technology scaling factors in the DeepScaleTool style (0.8 V,
+ * 500 MHz), anchored to Table 5's published 28 -> 12 -> 8 nm numbers.
+ */
+struct TechScaling
+{
+    /** Area multiplier from 28 nm to the target node. */
+    static double areaFactor(u32 target_nm);
+    /** Power multiplier from 28 nm to the target node. */
+    static double powerFactor(u32 target_nm);
+
+    /** Scale a 28 nm plug-in config to another node (Table 5 rows). */
+    static RtgsHwConfig scaleConfig(const RtgsHwConfig &base,
+                                    u32 target_nm);
+};
+
+} // namespace rtgs::hw
+
+#endif // RTGS_HW_ENERGY_HH

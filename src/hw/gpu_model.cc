@@ -1,0 +1,125 @@
+#include "hw/gpu_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtgs::hw
+{
+
+EdgeGpuModel::EdgeGpuModel(const GpuSpec &spec, double workload_scale,
+                           const GpuCostParams &params)
+    : spec_(spec), workloadScale_(workload_scale), params_(params)
+{
+    rtgs_assert(workload_scale > 0);
+}
+
+double
+EdgeGpuModel::effectiveFlops() const
+{
+    return spec_.peakGflops() * 1e9 * spec_.utilization *
+           params_.utilization * workloadScale_;
+}
+
+double
+EdgeGpuModel::effectiveFragments(const IterationTrace &trace,
+                                 bool blended) const
+{
+    // Warp divergence: all lanes of a warp wait for the heaviest pixel.
+    // Warps are groups of warpSize pixels, assembled from consecutive
+    // subtiles (two 4x4 subtiles per 32-wide warp).
+    double effective = 0;
+    u32 px_per_subtile = 16;
+    u32 subtiles_per_warp =
+        std::max<u32>(1, params_.warpSize / px_per_subtile);
+
+    for (const auto &tile : trace.tiles) {
+        for (size_t s = 0; s < tile.subtiles.size();
+             s += subtiles_per_warp) {
+            u32 warp_max = 0;
+            u32 lanes = 0;
+            for (size_t j = s;
+                 j < std::min(tile.subtiles.size(),
+                              s + subtiles_per_warp); ++j) {
+                const SubtileLoad &sl = tile.subtiles[j];
+                warp_max = std::max(warp_max, blended ? sl.maxBlended()
+                                                      : sl.maxIterated());
+                lanes += static_cast<u32>(sl.iterated.size());
+            }
+            effective += static_cast<double>(warp_max) * lanes;
+        }
+    }
+    return effective;
+}
+
+GpuStepTimes
+EdgeGpuModel::iterationTime(const IterationTrace &trace,
+                            bool distwar) const
+{
+    GpuStepTimes t;
+    double flops = effectiveFlops();
+    double cycles_per_s = spec_.clockGhz * 1e9;
+
+    // Step 1: per-Gaussian projection + tile intersection.
+    t.preprocess = static_cast<double>(trace.activeGaussians) *
+                   params_.preprocessFlopsPerGaussian / flops;
+
+    // Step 2: keys = tile-Gaussian intersections.
+    t.sort = static_cast<double>(trace.intersections) *
+             params_.sortFlopsPerKey / flops;
+
+    // Step 3: divergence-aware forward rendering.
+    t.render = effectiveFragments(trace, /*blended=*/false) *
+               params_.forwardFlopsPerFragment / flops;
+
+    // Step 4: rendering BP over blended fragments (the recompute of
+    // alpha/transmittance makes the per-fragment cost much higher than
+    // forward)...
+    double bp_compute = effectiveFragments(trace, /*blended=*/true) *
+                        params_.backwardFlopsPerFragment / flops;
+
+    // ... plus atomic gradient aggregation. Each blended fragment
+    // issues gradientWordsPerFragment atomic adds; collisions scale
+    // with the pixels-per-Gaussian density of the tile (many pixels
+    // updating the same Gaussian address serialise).
+    double atomic_cycles = 0;
+    for (const auto &tile : trace.tiles) {
+        double tile_blended = 0;
+        for (const auto &sl : tile.subtiles)
+            tile_blended += sl.sumBlended();
+        if (tile_blended <= 0)
+            continue;
+        double density = tile.uniqueGaussians > 0
+            ? tile_blended / tile.uniqueGaussians
+            : tile_blended;
+        double ops = tile_blended * params_.gradientWordsPerFragment;
+        if (distwar) {
+            // DISTWAR merges duplicate addresses within a warp before
+            // issuing atomics; the reduction factor is the per-warp
+            // duplicate count (bounded by the tile density). Sparse
+            // SLAM Gaussians limit the achievable merge factor (Tab. 1
+            // footnote 6).
+            double warp_dup = std::clamp(density / 8.0, 1.0, 8.0);
+            ops /= warp_dup;
+        }
+        double conflict = std::min(8.0, 1.0 + density / 16.0);
+        atomic_cycles += ops * (params_.atomicCyclesPerOp +
+                                params_.atomicConflictCycles *
+                                    (conflict - 1.0));
+    }
+    // Atomics are issued by all SMs; normalise by core parallelism and
+    // the same workload scaling as compute.
+    double atomic_parallel = static_cast<double>(spec_.cudaCores) / 4.0 *
+                             workloadScale_;
+    t.atomicStall = atomic_cycles / atomic_parallel / cycles_per_s;
+    t.renderBp = bp_compute + t.atomicStall;
+
+    // Step 5: per-Gaussian 2D->3D gradient transform (+ pose reduce).
+    t.preprocessBp = static_cast<double>(trace.projectedGaussians) *
+                     params_.preprocessBpFlopsPerGaussian / flops;
+
+    return t;
+}
+
+} // namespace rtgs::hw

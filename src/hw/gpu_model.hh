@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Baseline GPU timing model for the 3DGS-SLAM pipeline steps, at warp
+ * granularity: per-warp rendering time follows the slowest lane (the
+ * pixel-level imbalance of Observation 6), and gradient aggregation
+ * pays atomicAdd serialisation (Observation 4). A DISTWAR variant
+ * merges gradients at warp level before issuing atomics.
+ *
+ * Throughput constants are physical (cores x 2 FLOP x clock) with a
+ * utilisation derate; `workloadScale` lets scaled-down experiments be
+ * interpreted at the paper's native workload (see EXPERIMENTS.md).
+ */
+
+#ifndef RTGS_HW_GPU_MODEL_HH
+#define RTGS_HW_GPU_MODEL_HH
+
+#include "hw/config.hh"
+#include "hw/trace.hh"
+
+namespace rtgs::hw
+{
+
+/** Per-step cost constants (FLOPs / cycles per entity). */
+struct GpuCostParams
+{
+    double preprocessFlopsPerGaussian = 220;
+    double sortFlopsPerKey = 24;      //!< radix passes amortised
+    double forwardFlopsPerFragment = 60;
+    double backwardFlopsPerFragment = 170;
+    double preprocessBpFlopsPerGaussian = 300;
+    /** Extra derate on top of the GpuSpec's utilization. */
+    double utilization = 1.0;
+    /** Atomic add cost and per-word gradient traffic (Obs. 4). */
+    double atomicCyclesPerOp = 4;
+    double gradientWordsPerFragment = 9;
+    /** Extra serialisation per colliding update. */
+    double atomicConflictCycles = 6;
+    /** Warp width for divergence modelling. */
+    u32 warpSize = 32;
+};
+
+/** Per-step times of one rendering+backprop iteration (seconds). */
+struct GpuStepTimes
+{
+    double preprocess = 0;
+    double sort = 0;
+    double render = 0;
+    double renderBp = 0;    //!< includes atomic aggregation stalls
+    double atomicStall = 0; //!< the aggregation share of renderBp
+    double preprocessBp = 0;
+
+    double total() const
+    {
+        return preprocess + sort + render + renderBp + preprocessBp;
+    }
+};
+
+/** Timing model of a base (or DISTWAR-enhanced) GPU implementation. */
+class EdgeGpuModel
+{
+  public:
+    /**
+     * @param spec            device description
+     * @param workload_scale  multiply throughput by this to interpret
+     *                        a linearly scaled-down workload at the
+     *                        paper's native scale (resolutionScale^2)
+     */
+    EdgeGpuModel(const GpuSpec &spec, double workload_scale = 1.0,
+                 const GpuCostParams &params = {});
+
+    const GpuSpec &spec() const { return spec_; }
+
+    /**
+     * Time one full iteration (Steps 1-5).
+     *
+     * @param distwar enable warp-level gradient merging (DISTWAR)
+     */
+    GpuStepTimes iterationTime(const IterationTrace &trace,
+                               bool distwar = false) const;
+
+    /** Effective (divergence-aware) fragment count of a trace. */
+    double effectiveFragments(const IterationTrace &trace,
+                              bool blended) const;
+
+    /** Achieved FP32 throughput in FLOP/s after derates. */
+    double effectiveFlops() const;
+
+  private:
+    GpuSpec spec_;
+    double workloadScale_;
+    GpuCostParams params_;
+};
+
+} // namespace rtgs::hw
+
+#endif // RTGS_HW_GPU_MODEL_HH

@@ -1,0 +1,103 @@
+#include "hw/memory.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtgs::hw
+{
+
+double
+TrafficReport::dramSeconds(double bandwidth_gbs) const
+{
+    rtgs_assert(bandwidth_gbs > 0);
+    return dramBytes / (bandwidth_gbs * 1e9);
+}
+
+double
+TrafficReport::dramUtilisation(double compute_seconds,
+                               double bandwidth_gbs) const
+{
+    if (compute_seconds <= 0)
+        return 1.0;
+    return std::min(1.0, dramSeconds(bandwidth_gbs) / compute_seconds);
+}
+
+MemoryModel::MemoryModel(const RtgsHwConfig &config,
+                         const MemoryLayout &layout)
+    : config_(config), layout_(layout)
+{
+}
+
+double
+MemoryModel::sharingCacheHitRate(double list_bytes) const
+{
+    double capacity = config_.gaussianCacheKb * 1024.0;
+    // 16 subtiles per tile walk the same list: with a resident list,
+    // 15 of 16 walks hit. A list larger than the cache streams, and
+    // the resident fraction still hits.
+    double resident = std::min(1.0, capacity / std::max(1.0, list_bytes));
+    return (15.0 / 16.0) * resident;
+}
+
+TrafficReport
+MemoryModel::iterationTraffic(const IterationTrace &trace,
+                              bool tracking) const
+{
+    TrafficReport r;
+
+    double total_fetch = 0;
+    double after_sharing = 0;
+    for (const auto &tile : trace.tiles) {
+        double list_bytes = static_cast<double>(tile.uniqueGaussians) *
+                            layout_.gaussian2dBytes;
+        // Each of the 16 subtiles walks the tile's list once.
+        double demand = list_bytes * 16.0;
+        double hit = sharingCacheHitRate(list_bytes);
+        total_fetch += demand;
+        after_sharing += demand * (1.0 - hit);
+    }
+    r.gaussianFetchBytes = total_fetch;
+    r.sharingCacheHitRate =
+        total_fetch > 0 ? 1.0 - after_sharing / total_fetch : 0.0;
+
+    // Pixel state: one read+write per pixel per phase (render, BP).
+    double pixels = static_cast<double>(trace.width) * trace.height;
+    r.pixelBytes = pixels * layout_.pixelStateBytes * 4.0;
+
+    // Gradient write-back: one aggregated record per tile-Gaussian
+    // pair (post-GMU), plus 3D gradients for pruning during tracking.
+    r.gradientBytes = static_cast<double>(trace.intersections) *
+                      layout_.gradient2dBytes;
+    if (tracking) {
+        r.gradientBytes += static_cast<double>(trace.projectedGaussians) *
+                           layout_.gaussian3dBytes;
+    }
+
+    // R&B chunks stay on-chip (double-buffered), but count the flow.
+    r.rbBufferBytes = static_cast<double>(trace.fragmentsBlended) *
+                      layout_.rbChunkBytes;
+
+    // L2 sees sharing-cache misses plus pixel and gradient flows;
+    // cross-tile reuse (a Gaussian overlapping k tiles is fetched once
+    // from DRAM) gives the L2 hit rate.
+    r.l2ReadBytes = after_sharing + r.pixelBytes + r.gradientBytes;
+    double unique3d = static_cast<double>(trace.projectedGaussians) *
+                      layout_.gaussian2dBytes;
+    double cross_tile_demand = after_sharing;
+    double cross_tile_unique = std::min(cross_tile_demand, unique3d);
+    double l2_capacity = config_.l2CacheMb * 1024.0 * 1024.0;
+    double resident =
+        std::min(1.0, l2_capacity / std::max(1.0, cross_tile_unique +
+                                                      r.pixelBytes));
+    double l2_hits = (cross_tile_demand - cross_tile_unique) * resident +
+                     r.pixelBytes * 0.5 * resident;
+    r.l2HitRate = r.l2ReadBytes > 0
+        ? std::clamp(l2_hits / r.l2ReadBytes, 0.0, 1.0)
+        : 0.0;
+    r.dramBytes = std::max(0.0, r.l2ReadBytes - l2_hits);
+    return r;
+}
+
+} // namespace rtgs::hw

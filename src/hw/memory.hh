@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Memory-traffic model of the integrated system (Sec. 6.1's simulation
+ * validation): per-iteration byte flows between the plug-in, the
+ * shared 2 MB L2 and LPDDR5 DRAM.
+ *
+ * The Gaussian Sharing Cache captures the dominant reuse pattern:
+ * within a tile, all 16 subtiles walk the same sorted Gaussian list,
+ * so a tile's 2D Gaussians are fetched once from L2 and served 15
+ * more times from the 80 KB cache. L2 captures cross-tile reuse of
+ * Gaussians that overlap multiple tiles. The paper validates its
+ * simulator at 21.5% DRAM bandwidth utilisation and 43.6% L2
+ * utilisation — the regime this model reproduces.
+ */
+
+#ifndef RTGS_HW_MEMORY_HH
+#define RTGS_HW_MEMORY_HH
+
+#include "hw/config.hh"
+#include "hw/trace.hh"
+
+namespace rtgs::hw
+{
+
+/** Byte-size constants of the data the pipeline moves. */
+struct MemoryLayout
+{
+    /** Packed 2D Gaussian: mean2d(8) conic(12) color(12) o(4) d(4). */
+    u32 gaussian2dBytes = 40;
+    /** Raw 3D Gaussian parameters (pos/scale/rot/opacity/sh). */
+    u32 gaussian3dBytes = 56;
+    /** Aggregated 2D gradient record (9 words). */
+    u32 gradient2dBytes = 36;
+    /** Per-pixel state: colour accumulators + T + counters. */
+    u32 pixelStateBytes = 24;
+    /** R&B chunk entry: four intermediate values per pixel. */
+    u32 rbChunkBytes = 16;
+};
+
+/** Byte flows of one rendering+backprop iteration. */
+struct TrafficReport
+{
+    // Demand (before caching).
+    double gaussianFetchBytes = 0; //!< 2D Gaussians read by REs
+    double pixelBytes = 0;         //!< pixel/image reads + writes
+    double gradientBytes = 0;      //!< gradient write-back to SMs
+    double rbBufferBytes = 0;      //!< R&B chunk traffic (on-chip)
+
+    // After the cache hierarchy.
+    double l2ReadBytes = 0;        //!< misses of the sharing cache
+    double dramBytes = 0;          //!< misses of L2
+
+    double sharingCacheHitRate = 0;
+    double l2HitRate = 0;
+
+    /** Time to move dramBytes at the given bandwidth (seconds). */
+    double dramSeconds(double bandwidth_gbs) const;
+
+    /** DRAM bandwidth utilisation over a compute interval. */
+    double dramUtilisation(double compute_seconds,
+                           double bandwidth_gbs) const;
+};
+
+/** The cache/DRAM model. */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(const RtgsHwConfig &config =
+                             RtgsHwConfig::paper(),
+                         const MemoryLayout &layout = {});
+
+    const MemoryLayout &layout() const { return layout_; }
+
+    /**
+     * Byte flows of one iteration.
+     *
+     * @param tracking gradients flow back for pruning when true
+     */
+    TrafficReport iterationTraffic(const IterationTrace &trace,
+                                   bool tracking) const;
+
+    /**
+     * Hit rate of the Gaussian Sharing Cache for a tile whose sorted
+     * list occupies `list_bytes`: full intra-tile reuse while the list
+     * fits, degrading proportionally once it spills.
+     */
+    double sharingCacheHitRate(double list_bytes) const;
+
+  private:
+    RtgsHwConfig config_;
+    MemoryLayout layout_;
+};
+
+} // namespace rtgs::hw
+
+#endif // RTGS_HW_MEMORY_HH

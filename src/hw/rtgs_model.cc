@@ -1,0 +1,252 @@
+#include "hw/rtgs_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace rtgs::hw
+{
+
+namespace
+{
+
+/**
+ * Pair pixel workloads heavy-with-light (the WSU's FIFO/LIFO pairing)
+ * or adjacently (the unscheduled baseline), and return per-pair slot
+ * costs: a shared unit serves a pair in ceil((a+b)/2) slots once both
+ * lanes can be kept busy, while an unpaired design waits for
+ * max(a, b).
+ */
+std::vector<double>
+pairCosts(std::vector<u32> loads, bool pairing)
+{
+    std::vector<double> costs;
+    if (loads.empty())
+        return costs;
+    if (loads.size() % 2)
+        loads.push_back(0);
+    if (pairing) {
+        std::sort(loads.begin(), loads.end());
+        size_t lo = 0, hi = loads.size() - 1;
+        while (lo < hi) {
+            costs.push_back(std::ceil(
+                (static_cast<double>(loads[lo]) + loads[hi]) / 2.0));
+            ++lo;
+            --hi;
+        }
+    } else {
+        for (size_t i = 0; i + 1 < loads.size(); i += 2) {
+            costs.push_back(
+                static_cast<double>(std::max(loads[i], loads[i + 1])));
+        }
+    }
+    return costs;
+}
+
+} // namespace
+
+RtgsAccelModel::RtgsAccelModel(const RtgsHwConfig &config)
+    : config_(config)
+{
+}
+
+double
+RtgsAccelModel::subtileForwardCycles(const SubtileLoad &subtile,
+                                     bool pairing) const
+{
+    std::vector<u32> loads(subtile.iterated.begin(),
+                           subtile.iterated.end());
+    auto costs = pairCosts(std::move(loads), pairing);
+    // 8 RCs serve the 8 pairs concurrently; the subtile finishes with
+    // its slowest pair. Pipeline fill = alpha compute + blend latency.
+    double pipe_fill = config_.alphaComputeCycles +
+                       config_.alphaBlendCycles;
+    double worst = 0;
+    for (double c : costs)
+        worst = std::max(worst, c);
+    return worst + pipe_fill;
+}
+
+double
+RtgsAccelModel::subtileBackwardCycles(const SubtileLoad &subtile,
+                                      bool pairing, bool rb_buffer) const
+{
+    std::vector<u32> loads(subtile.blended.begin(),
+                           subtile.blended.end());
+    auto costs = pairCosts(std::move(loads), pairing);
+    // Per-fragment occupancy of the RBC is set by its slowest unit:
+    // the alpha-gradient recompute (20 cy) without reuse, or the
+    // balanced 4-cycle reuse path (Fig. 8).
+    double per_frag = rb_buffer
+        ? static_cast<double>(config_.alphaGradCyclesReuse)
+        : static_cast<double>(config_.alphaGradCyclesNoReuse);
+    double pipe_fill = per_frag + config_.covPosGradCycles;
+    double worst = 0;
+    for (double c : costs)
+        worst = std::max(worst, c);
+    return worst * per_frag + pipe_fill;
+}
+
+double
+RtgsAccelModel::subtileCycles(const SubtileLoad &subtile,
+                              const RtgsFeatures &features) const
+{
+    return subtileForwardCycles(subtile, features.wsuPairing) +
+           subtileBackwardCycles(subtile, features.wsuPairing,
+                                 features.rbBuffer);
+}
+
+double
+RtgsAccelModel::schedule(const std::vector<double> &costs,
+                         bool streaming) const
+{
+    u32 res = config_.reCount;
+    if (costs.empty())
+        return 0;
+    if (streaming) {
+        // List scheduling: next subtile streams into the first free RE.
+        std::priority_queue<double, std::vector<double>,
+                            std::greater<double>> free_at;
+        for (u32 i = 0; i < res; ++i)
+            free_at.push(0.0);
+        double makespan = 0;
+        for (double c : costs) {
+            double start = free_at.top();
+            free_at.pop();
+            double end = start + c;
+            makespan = std::max(makespan, end);
+            free_at.push(end);
+        }
+        return makespan;
+    }
+    // Barrier rounds: RE i takes subtile round*res + i; every round
+    // waits for its slowest member (the fixed mapping baseline).
+    double total = 0;
+    for (size_t base = 0; base < costs.size(); base += res) {
+        double round = 0;
+        for (size_t i = base; i < std::min(costs.size(), base + res); ++i)
+            round = std::max(round, costs[i]);
+        total += round;
+    }
+    return total;
+}
+
+double
+RtgsAccelModel::imbalance(const IterationTrace &trace,
+                          const RtgsFeatures &features) const
+{
+    auto subtiles = trace.allSubtiles();
+    std::vector<double> costs;
+    costs.reserve(subtiles.size());
+    double work = 0;
+    for (const auto *s : subtiles) {
+        double c = subtileCycles(*s, features);
+        costs.push_back(c);
+        work += c;
+    }
+    double makespan = schedule(costs, features.streaming);
+    if (makespan <= 0)
+        return 0;
+    double ideal = work / config_.reCount;
+    return std::max(0.0, 1.0 - ideal / makespan);
+}
+
+PluginTimes
+RtgsAccelModel::iterationTime(const IterationTrace &trace, bool tracking,
+                              const RtgsFeatures &features) const
+{
+    PluginTimes t;
+    double cycles_per_s = config_.clockGhz * 1e9;
+
+    auto subtiles = trace.allSubtiles();
+    std::vector<double> fwd_costs, bp_costs, tot_costs;
+    fwd_costs.reserve(subtiles.size());
+    bp_costs.reserve(subtiles.size());
+    tot_costs.reserve(subtiles.size());
+    for (const auto *s : subtiles) {
+        double f = subtileForwardCycles(*s, features.wsuPairing);
+        double b = subtileBackwardCycles(*s, features.wsuPairing,
+                                         features.rbBuffer);
+        fwd_costs.push_back(f);
+        bp_costs.push_back(b);
+        tot_costs.push_back(f + b);
+    }
+
+    double fwd_cycles = schedule(fwd_costs, features.streaming);
+    double bp_cycles = schedule(bp_costs, features.streaming);
+    t.render = fwd_cycles / cycles_per_s;
+    t.renderBp = bp_cycles / cycles_per_s;
+
+    // Gradient aggregation. GMU: the Benes network + merge tree
+    // consumes each subtile's gradients at ~1 fragment/cycle across
+    // the 4 GMUs, plus stage-buffer eviction work per unique Gaussian.
+    // Atomic fallback: serialised adds with conflict stalls.
+    double merge_cycles = 0;
+    if (features.gmu) {
+        // Each GMU's bypass-augmented tree ingests a 16-gradient bundle
+        // per cycle from its 4-RE group (flip-flop pipelining across
+        // adder levels, Sec. 5.3); stage-buffer eviction costs a
+        // fraction of a cycle per tile-Gaussian entry.
+        double frag_cycles = static_cast<double>(trace.fragmentsBlended) /
+                             (config_.gmuCount * 16.0);
+        double evict_cycles = 0.25 * static_cast<double>(
+                                  trace.intersections) / config_.gmuCount;
+        merge_cycles = frag_cycles + evict_cycles;
+    } else {
+        // Atomic fallback: every gradient word is an atomic add over
+        // the same 64 merge lanes, with serialisation growing with the
+        // pixels-per-Gaussian density (the measured effect the GMU
+        // removes: ~68% merge-latency reduction on average).
+        for (const auto &tile : trace.tiles) {
+            double tile_blended = 0;
+            for (const auto &sl : tile.subtiles)
+                tile_blended += sl.sumBlended();
+            if (tile_blended <= 0)
+                continue;
+            double density = tile.uniqueGaussians > 0
+                ? tile_blended / tile.uniqueGaussians
+                : tile_blended;
+            double conflict = std::min(4.0, 1.0 + density / 32.0);
+            merge_cycles += tile_blended * 9.0 * conflict /
+                            (config_.gmuCount * 16.0);
+        }
+    }
+    t.merge = merge_cycles / cycles_per_s;
+
+    // Step 5 on the PEs: 16 PEs x 16 Gaussians in flight; ~20 cycles
+    // per Gaussian for the 2D->3D transform chain.
+    double pe_parallel = static_cast<double>(config_.peCount) *
+                         config_.gaussiansPerPe;
+    double pe_cycles = static_cast<double>(trace.projectedGaussians) *
+                       20.0 / pe_parallel;
+    t.preprocessBp = pe_cycles / cycles_per_s;
+
+    // Pose path (tracking only): per-Gaussian pose gradients reduced by
+    // the merging tree (log depth) into the pose computing unit.
+    if (tracking) {
+        double pose_cycles = static_cast<double>(
+                                 trace.projectedGaussians) /
+                                 (config_.peCount * 2.0) +
+                             64.0;
+        t.poseUpdate = pose_cycles / cycles_per_s;
+    }
+
+    if (features.pipelined) {
+        // Fig. 12: phases overlap across subtiles; steady-state time is
+        // bounded by the slowest phase plus the others' fill portions.
+        double slowest = std::max({t.render + t.renderBp, t.merge,
+                                   t.preprocessBp});
+        double fills = 0.1 * (t.render + t.renderBp + t.merge +
+                              t.preprocessBp - slowest);
+        t.total = slowest + fills + t.poseUpdate;
+    } else {
+        t.total = t.render + t.renderBp + t.merge + t.preprocessBp +
+                  t.poseUpdate;
+    }
+    return t;
+}
+
+} // namespace rtgs::hw

@@ -1,0 +1,108 @@
+#include "hw/trace.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rtgs::hw
+{
+
+u32
+SubtileLoad::maxIterated() const
+{
+    u32 m = 0;
+    for (u16 v : iterated)
+        m = std::max<u32>(m, v);
+    return m;
+}
+
+u32
+SubtileLoad::sumIterated() const
+{
+    u32 s = 0;
+    for (u16 v : iterated)
+        s += v;
+    return s;
+}
+
+u32
+SubtileLoad::maxBlended() const
+{
+    u32 m = 0;
+    for (u16 v : blended)
+        m = std::max<u32>(m, v);
+    return m;
+}
+
+u32
+SubtileLoad::sumBlended() const
+{
+    u32 s = 0;
+    for (u16 v : blended)
+        s += v;
+    return s;
+}
+
+IterationTrace
+IterationTrace::capture(const gs::ForwardContext &ctx,
+                        size_t cloud_active_count, u32 subtile_size)
+{
+    IterationTrace t;
+    t.width = ctx.grid.width;
+    t.height = ctx.grid.height;
+    t.activeGaussians = static_cast<u32>(cloud_active_count);
+    t.projectedGaussians =
+        static_cast<u32>(ctx.projected.validCount());
+    t.intersections = ctx.bins.totalIntersections();
+    t.fragmentsIterated = ctx.result.totalFragments();
+    t.fragmentsBlended = ctx.result.totalBlended();
+
+    t.tiles.resize(ctx.grid.tileCount());
+    for (u32 tile = 0; tile < ctx.grid.tileCount(); ++tile) {
+        TileLoad &tl = t.tiles[tile];
+        tl.uniqueGaussians =
+            static_cast<u32>(ctx.bins.lists[tile].size());
+
+        u32 x0, y0, x1, y1;
+        ctx.grid.tileBounds(tile, x0, y0, x1, y1);
+        // Partition the tile into subtile_size x subtile_size blocks.
+        for (u32 sy = y0; sy < y1; sy += subtile_size) {
+            for (u32 sx = x0; sx < x1; sx += subtile_size) {
+                SubtileLoad sl;
+                for (u32 py = sy; py < std::min(y1, sy + subtile_size);
+                     ++py) {
+                    for (u32 px = sx;
+                         px < std::min(x1, sx + subtile_size); ++px) {
+                        sl.iterated.push_back(static_cast<u16>(
+                            std::min<u32>(65535,
+                                ctx.result.nContrib.at(px, py))));
+                        sl.blended.push_back(static_cast<u16>(
+                            std::min<u32>(65535,
+                                ctx.result.nBlended.at(px, py))));
+                    }
+                }
+                tl.subtiles.push_back(std::move(sl));
+            }
+        }
+    }
+    return t;
+}
+
+std::vector<const SubtileLoad *>
+IterationTrace::allSubtiles() const
+{
+    std::vector<const SubtileLoad *> out;
+    for (const auto &tile : tiles)
+        for (const auto &s : tile.subtiles)
+            out.push_back(&s);
+    return out;
+}
+
+double
+IterationTrace::meanFragmentsPerPixel() const
+{
+    double px = static_cast<double>(width) * height;
+    return px > 0 ? static_cast<double>(fragmentsIterated) / px : 0.0;
+}
+
+} // namespace rtgs::hw

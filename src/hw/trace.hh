@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Workload traces: the interface between the functional pipeline and
+ * the hardware timing models.
+ *
+ * A trace captures exactly what determines cycle counts on both the
+ * GPU and the plug-in: per-pixel fragment counts (iterated and
+ * blended) grouped into 4x4 subtiles, per-tile unique Gaussian counts,
+ * and aggregate byte/entity counts. The CPU rasterizer produces the
+ * same tiles, fragments and gradient addresses a CUDA implementation
+ * would, so traces are substrate-independent.
+ */
+
+#ifndef RTGS_HW_TRACE_HH
+#define RTGS_HW_TRACE_HH
+
+#include <vector>
+
+#include "gs/render_pipeline.hh"
+
+namespace rtgs::hw
+{
+
+/** Per-pixel workloads of one 4x4 subtile. */
+struct SubtileLoad
+{
+    /** Fragments examined per pixel (alpha computing invocations). */
+    std::vector<u16> iterated;
+    /** Fragments blended per pixel (alpha above threshold). */
+    std::vector<u16> blended;
+
+    u32 maxIterated() const;
+    u32 sumIterated() const;
+    u32 maxBlended() const;
+    u32 sumBlended() const;
+};
+
+/** One 16x16 tile's workload. */
+struct TileLoad
+{
+    u32 uniqueGaussians = 0;   //!< tile bin size (sorted list length)
+    std::vector<SubtileLoad> subtiles;
+};
+
+/** One rendering+backprop iteration's workload. */
+struct IterationTrace
+{
+    u32 width = 0;
+    u32 height = 0;
+    u32 activeGaussians = 0;     //!< Gaussians entering preprocessing
+    u32 projectedGaussians = 0;  //!< survivors of culling
+    u64 intersections = 0;       //!< total tile-Gaussian pairs
+    u64 fragmentsIterated = 0;
+    u64 fragmentsBlended = 0;
+    std::vector<TileLoad> tiles;
+
+    /** Extract a trace from a forward context. */
+    static IterationTrace capture(const gs::ForwardContext &ctx,
+                                  size_t cloud_active_count,
+                                  u32 subtile_size = 4);
+
+    /** All subtiles flattened (dispatch order for the RE models). */
+    std::vector<const SubtileLoad *> allSubtiles() const;
+
+    /** Mean fragments iterated per pixel. */
+    double meanFragmentsPerPixel() const;
+};
+
+/** A frame's workload: tracking and (for keyframes) mapping. */
+struct FrameTrace
+{
+    bool isKeyframe = false;
+    u32 trackIterations = 0;
+    u32 mapIterations = 0;
+    IterationTrace tracking;  //!< representative tracking iteration
+    IterationTrace mapping;   //!< representative mapping iteration
+
+    /**
+     * Additional full-frame scoring passes charged by baseline pruners
+     * (LightGaussian / FlashGS); zero for RTGS by construction.
+     */
+    u32 extraScoringPasses = 0;
+};
+
+} // namespace rtgs::hw
+
+#endif // RTGS_HW_TRACE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dense row-major image container.
+ */
+
+#ifndef RTGS_IMAGE_IMAGE_HH
+#define RTGS_IMAGE_IMAGE_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "geometry/vec.hh"
+
+namespace rtgs
+{
+
+/** Row-major WxH image of pixels of type T. */
+template <typename T>
+class Image
+{
+  public:
+    Image() = default;
+
+    Image(u32 width, u32 height, const T &fill = T{})
+        : width_(width), height_(height),
+          data_(static_cast<size_t>(width) * height, fill)
+    {}
+
+    u32 width() const { return width_; }
+    u32 height() const { return height_; }
+    bool empty() const { return data_.empty(); }
+    size_t pixelCount() const { return data_.size(); }
+
+    const T &
+    at(u32 x, u32 y) const
+    {
+        rtgs_assert(x < width_ && y < height_);
+        return data_[static_cast<size_t>(y) * width_ + x];
+    }
+
+    T &
+    at(u32 x, u32 y)
+    {
+        rtgs_assert(x < width_ && y < height_);
+        return data_[static_cast<size_t>(y) * width_ + x];
+    }
+
+    const T &operator[](size_t i) const { return data_[i]; }
+    T &operator[](size_t i) { return data_[i]; }
+
+    const T *data() const { return data_.data(); }
+    T *data() { return data_.data(); }
+
+    void fill(const T &v) { std::fill(data_.begin(), data_.end(), v); }
+
+    bool
+    sameShape(const Image &o) const
+    {
+        return width_ == o.width_ && height_ == o.height_;
+    }
+
+  private:
+    u32 width_ = 0;
+    u32 height_ = 0;
+    std::vector<T> data_;
+};
+
+/** RGB image with components in [0, 1]. */
+using ImageRGB = Image<Vec3f>;
+/** Scalar (depth / weight / grayscale) image. */
+using ImageF = Image<Real>;
+
+/** Luma (Rec. 601) of an RGB pixel. */
+inline Real
+luminance(const Vec3f &c)
+{
+    return Real(0.299) * c.x + Real(0.587) * c.y + Real(0.114) * c.z;
+}
+
+/** Convert RGB to a grayscale image. */
+ImageF toGray(const ImageRGB &img);
+
+} // namespace rtgs
+
+#endif // RTGS_IMAGE_IMAGE_HH

@@ -1,0 +1,65 @@
+#include "image/io.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+namespace rtgs
+{
+
+namespace
+{
+
+u8
+toByte(Real v)
+{
+    return static_cast<u8>(std::clamp<Real>(v, 0, 1) * Real(255) +
+                           Real(0.5));
+}
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+writePpm(const ImageRGB &img, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    std::fprintf(f.get(), "P6\n%u %u\n255\n", img.width(), img.height());
+    for (size_t i = 0; i < img.pixelCount(); ++i) {
+        u8 rgb[3] = {toByte(img[i].x), toByte(img[i].y), toByte(img[i].z)};
+        if (std::fwrite(rgb, 1, 3, f.get()) != 3)
+            return false;
+    }
+    return true;
+}
+
+bool
+writePpmGray(const ImageF &img, const std::string &path)
+{
+    Real lo = 0, hi = 1;
+    if (img.pixelCount() > 0) {
+        lo = hi = img[0];
+        for (size_t i = 1; i < img.pixelCount(); ++i) {
+            lo = std::min(lo, img[i]);
+            hi = std::max(hi, img[i]);
+        }
+        if (hi <= lo)
+            hi = lo + 1;
+    }
+    ImageRGB rgb(img.width(), img.height());
+    for (size_t i = 0; i < img.pixelCount(); ++i) {
+        Real v = (img[i] - lo) / (hi - lo);
+        rgb[i] = {v, v, v};
+    }
+    return writePpm(rgb, path);
+}
+
+} // namespace rtgs

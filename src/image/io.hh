@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Minimal image file output (binary PPM) for the example programs.
+ */
+
+#ifndef RTGS_IMAGE_IO_HH
+#define RTGS_IMAGE_IO_HH
+
+#include <string>
+
+#include "image/image.hh"
+
+namespace rtgs
+{
+
+/** Write an RGB image ([0,1] floats) as binary PPM (P6). */
+bool writePpm(const ImageRGB &img, const std::string &path);
+
+/** Write a scalar image normalised to [min,max] as grayscale PPM. */
+bool writePpmGray(const ImageF &img, const std::string &path);
+
+} // namespace rtgs
+
+#endif // RTGS_IMAGE_IO_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Trajectory and rendering evaluation: Absolute Trajectory Error with
+ * closed-form SE(3) alignment (Umeyama without scale), cumulative drift
+ * curves (Fig. 13b), and map-quality PSNR over held keyframes.
+ */
+
+#ifndef RTGS_SLAM_EVALUATION_HH
+#define RTGS_SLAM_EVALUATION_HH
+
+#include <vector>
+
+#include "geometry/se3.hh"
+
+namespace rtgs::slam
+{
+
+/** Result of trajectory alignment + error computation. */
+struct AteResult
+{
+    /** RMSE of aligned camera-centre errors (same unit as the scene). */
+    double rmse = 0;
+    double mean = 0;
+    double max = 0;
+    /** Per-frame aligned translation errors. */
+    std::vector<double> perFrame;
+};
+
+/**
+ * Rigid (rotation + translation, no scale) alignment of the estimated
+ * camera centres to ground truth; returns the transform mapping
+ * estimated centres onto GT.
+ */
+SE3 alignTrajectories(const std::vector<SE3> &estimated,
+                      const std::vector<SE3> &ground_truth);
+
+/** Absolute Trajectory Error after rigid alignment. */
+AteResult computeAte(const std::vector<SE3> &estimated,
+                     const std::vector<SE3> &ground_truth);
+
+/**
+ * Cumulative ATE over a growing prefix of frames (drift accumulation,
+ * Fig. 13b): entry i is the ATE RMSE over frames [0, i].
+ */
+std::vector<double> cumulativeAte(const std::vector<SE3> &estimated,
+                                  const std::vector<SE3> &ground_truth);
+
+} // namespace rtgs::slam
+
+#endif // RTGS_SLAM_EVALUATION_HH

@@ -1,0 +1,150 @@
+#include "slam/mapper.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtgs::slam
+{
+
+Mapper::Mapper(const MapperConfig &config)
+    : config_(config), optimizer_(config.learningRates)
+{
+}
+
+void
+Mapper::addKeyframe(KeyframeRecord record)
+{
+    window_.push_back(std::move(record));
+    while (window_.size() > config_.windowSize)
+        window_.pop_front();
+}
+
+size_t
+Mapper::densify(const gs::RenderPipeline &pipeline,
+                gs::GaussianCloud &cloud, const Intrinsics &intr,
+                const KeyframeRecord &record)
+{
+    if (cloud.size() >= config_.maxGaussians)
+        return 0;
+
+    Camera cam(intr, record.pose);
+    // Render the current map to find unexplained pixels. An empty map
+    // renders nothing and every sampled pixel densifies.
+    gs::ForwardContext ctx = pipeline.forward(cloud, cam);
+
+    SE3 cam_to_world = record.pose.inverse();
+    size_t added = 0;
+    u32 stride = std::max<u32>(1, config_.densifyStride);
+
+    for (u32 y = stride / 2; y < record.rgb.height(); y += stride) {
+        for (u32 x = stride / 2; x < record.rgb.width(); x += stride) {
+            Real gt_d = record.depth.at(x, y);
+            if (gt_d <= 0)
+                continue;
+            Real alpha = ctx.result.alpha.at(x, y);
+            bool uncovered = alpha < config_.densifyAlphaThreshold;
+            bool depth_wrong = false;
+            if (!uncovered && alpha > Real(0.2)) {
+                Real render_d = ctx.result.depth.at(x, y) / alpha;
+                depth_wrong = std::abs(render_d - gt_d) >
+                              config_.densifyDepthError * gt_d;
+            }
+            if (!uncovered && !depth_wrong)
+                continue;
+
+            Vec3f cam_pt = intr.unproject(
+                {static_cast<Real>(x) + Real(0.5),
+                 static_cast<Real>(y) + Real(0.5)}, gt_d);
+            Vec3f world = cam_to_world.apply(cam_pt);
+            // Scale so neighbouring samples overlap: stride pixels at
+            // this depth.
+            Real scale = gt_d / intr.fx * static_cast<Real>(stride) *
+                         Real(0.7);
+            cloud.pushIsotropic(world, std::max(scale, Real(1e-3)),
+                                config_.newGaussianOpacity,
+                                record.rgb.at(x, y));
+            ++added;
+            if (cloud.size() >= config_.maxGaussians)
+                break;
+        }
+    }
+    optimizer_.ensureSize(cloud.size());
+    return added;
+}
+
+double
+Mapper::map(const gs::RenderPipeline &pipeline, gs::GaussianCloud &cloud,
+            const Intrinsics &intr, const MapIterationHook &hook)
+{
+    if (window_.empty() || cloud.empty())
+        return 0;
+
+    optimizer_.ensureSize(cloud.size());
+    double final_loss = 0;
+    for (u32 it = 0; it < config_.iterations; ++it) {
+        // Alternate between the newest keyframe (most relevant) and the
+        // rest of the window (forgetting protection), MonoGS-style.
+        const KeyframeRecord &kf =
+            (it % 2 == 0 || window_.size() == 1)
+                ? window_.back()
+                : window_[it / 2 % (window_.size() - 1)];
+
+        Camera cam(intr, kf.pose);
+        gs::ForwardContext ctx = pipeline.forward(cloud, cam);
+        LossResult loss = computeLoss(ctx.result, kf.rgb, &kf.depth,
+                                      config_.loss);
+        gs::BackwardResult back = pipeline.backward(
+            cloud, ctx, loss.dlDColor,
+            config_.loss.useDepth ? &loss.dlDDepth : nullptr,
+            /*compute_pose_grad=*/false);
+        optimizer_.step(cloud, back.grads);
+
+        if (&kf == &window_.back())
+            final_loss = loss.loss;
+
+        if (hook) {
+            MapIterationContext mctx;
+            mctx.iteration = it;
+            mctx.forward = &ctx;
+            mctx.backward = &back;
+            mctx.loss = loss.loss;
+            hook(mctx);
+        }
+    }
+    return final_loss;
+}
+
+size_t
+Mapper::pruneTransparent(gs::GaussianCloud &cloud)
+{
+    std::vector<u8> keep(cloud.size(), 1);
+    size_t cut = 0;
+    for (size_t k = 0; k < cloud.size(); ++k) {
+        if (cloud.opacity(k) < config_.pruneOpacity) {
+            keep[k] = 0;
+            ++cut;
+        }
+    }
+    if (cut > 0) {
+        cloud.compact(keep);
+        optimizer_.remap(keep);
+    }
+    return cut;
+}
+
+void
+Mapper::remapOptimizer(const std::vector<u8> &keep)
+{
+    optimizer_.remap(keep);
+}
+
+void
+Mapper::reset()
+{
+    window_.clear();
+    optimizer_.reset();
+}
+
+} // namespace rtgs::slam

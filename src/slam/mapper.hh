@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The mapping stage: keyframe-driven optimisation of the Gaussian map,
+ * plus densification (inserting Gaussians for newly observed geometry)
+ * and transparent-Gaussian cleanup — the standard machinery of
+ * keyframe-based 3DGS-SLAM (Sec. 2.2/2.3).
+ */
+
+#ifndef RTGS_SLAM_MAPPER_HH
+#define RTGS_SLAM_MAPPER_HH
+
+#include <deque>
+#include <functional>
+
+#include "gs/render_pipeline.hh"
+#include "slam/loss.hh"
+#include "slam/optimizer.hh"
+
+namespace rtgs::slam
+{
+
+/** A keyframe retained in the mapping window. */
+struct KeyframeRecord
+{
+    u32 frameIndex = 0;
+    SE3 pose;
+    ImageRGB rgb;
+    ImageF depth;
+};
+
+/** Mapping configuration. */
+struct MapperConfig
+{
+    u32 iterations = 15;
+    /** Keyframes kept in the optimisation window. */
+    u32 windowSize = 3;
+    MapLearningRates learningRates;
+    LossConfig loss;
+
+    // Densification: pixels sampled on a stride; a Gaussian is inserted
+    // where the map has no coverage or a large depth error.
+    u32 densifyStride = 4;
+    Real densifyAlphaThreshold = Real(0.5);
+    Real densifyDepthError = Real(0.15);
+    Real newGaussianOpacity = Real(0.7);
+    /** Upper bound on map size (resource cap). */
+    size_t maxGaussians = 2'000'000;
+
+    /** Opacity below which Gaussians are removed during cleanup. */
+    Real pruneOpacity = Real(0.02);
+};
+
+/** Per-map-iteration observer (mirrors the tracker's hook). */
+struct MapIterationContext
+{
+    u32 iteration = 0;
+    const gs::ForwardContext *forward = nullptr;
+    const gs::BackwardResult *backward = nullptr;
+    double loss = 0;
+};
+
+using MapIterationHook = std::function<void(const MapIterationContext &)>;
+
+/** Keyframe mapper; owns the keyframe window and the map optimiser. */
+class Mapper
+{
+  public:
+    explicit Mapper(const MapperConfig &config = {});
+
+    const MapperConfig &config() const { return config_; }
+    MapperConfig &config() { return config_; }
+
+    /** Keyframes currently in the window. */
+    const std::deque<KeyframeRecord> &window() const { return window_; }
+
+    /** Insert a keyframe into the window (evicting the oldest). */
+    void addKeyframe(KeyframeRecord record);
+
+    /**
+     * Densify the map from a keyframe observation: back-project pixels
+     * that the current map fails to explain. Returns the number of
+     * Gaussians added.
+     */
+    size_t densify(const gs::RenderPipeline &pipeline,
+                   gs::GaussianCloud &cloud, const Intrinsics &intr,
+                   const KeyframeRecord &record);
+
+    /**
+     * Run the mapping iterations over the keyframe window, updating the
+     * cloud in place.
+     *
+     * @return final loss over the most recent keyframe
+     */
+    double map(const gs::RenderPipeline &pipeline,
+               gs::GaussianCloud &cloud, const Intrinsics &intr,
+               const MapIterationHook &hook = nullptr);
+
+    /** Remove near-transparent Gaussians; returns how many were cut. */
+    size_t pruneTransparent(gs::GaussianCloud &cloud);
+
+    /**
+     * Mirror an externally performed compaction (e.g. RTGS pruning) in
+     * the optimiser's moment buffers.
+     */
+    void remapOptimizer(const std::vector<u8> &keep);
+
+    /** Reset optimiser + window state. */
+    void reset();
+
+  private:
+    MapperConfig config_;
+    std::deque<KeyframeRecord> window_;
+    MapOptimizer optimizer_;
+};
+
+} // namespace rtgs::slam
+
+#endif // RTGS_SLAM_MAPPER_HH

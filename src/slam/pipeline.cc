@@ -1,0 +1,422 @@
+#include "slam/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "image/resize.hh"
+
+namespace rtgs::slam
+{
+
+namespace
+{
+
+/** Solve the 6x6 system H x = b with partial-pivot Gaussian elimination. */
+bool
+solve6(double h[6][6], double b[6], double x[6])
+{
+    for (int col = 0; col < 6; ++col) {
+        int best = col;
+        for (int r = col + 1; r < 6; ++r)
+            if (std::abs(h[r][col]) > std::abs(h[best][col]))
+                best = r;
+        if (std::abs(h[best][col]) < 1e-12)
+            return false;
+        if (best != col) {
+            for (int c = 0; c < 6; ++c)
+                std::swap(h[col][c], h[best][c]);
+            std::swap(b[col], b[best]);
+        }
+        for (int r = col + 1; r < 6; ++r) {
+            double f = h[r][col] / h[col][col];
+            for (int c = col; c < 6; ++c)
+                h[r][c] -= f * h[col][c];
+            b[r] -= f * b[col];
+        }
+    }
+    for (int r = 5; r >= 0; --r) {
+        double acc = b[r];
+        for (int c = r + 1; c < 6; ++c)
+            acc -= h[r][c] * x[c];
+        x[r] = acc / h[r][r];
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+algorithmName(BaseAlgorithm algo)
+{
+    switch (algo) {
+      case BaseAlgorithm::GsSlam: return "GS-SLAM";
+      case BaseAlgorithm::MonoGs: return "MonoGS";
+      case BaseAlgorithm::PhotoSlam: return "Photo-SLAM";
+      case BaseAlgorithm::SplaTam: return "SplaTAM";
+    }
+    return "unknown";
+}
+
+SlamConfig
+SlamConfig::forAlgorithm(BaseAlgorithm algo)
+{
+    SlamConfig cfg;
+    cfg.algorithm = algo;
+    switch (algo) {
+      case BaseAlgorithm::GsSlam:
+        // Scene-change keyframing, moderate map density.
+        cfg.mapper.densifyStride = 5;
+        break;
+      case BaseAlgorithm::MonoGs:
+        // Fixed-interval keyframes; denser maps for detail recovery
+        // (Sec. 2.3: MonoGS uses more Gaussians).
+        cfg.kfInterval = 8;
+        cfg.mapper.densifyStride = 3;
+        break;
+      case BaseAlgorithm::PhotoSlam:
+        // Classical geometric tracking; hybrid design keeps the map
+        // lean (Sec. 2.3: acceptable storage). Dense ICP sampling and
+        // extra iterations buy noise robustness.
+        cfg.mapper.densifyStride = 6;
+        cfg.mapper.iterations = 12;
+        cfg.icpStride = 2;
+        cfg.icpIterations = 8;
+        break;
+      case BaseAlgorithm::SplaTam:
+        // Per-frame mapping, no keyframe selection; fewer iterations
+        // per stage since both run on every frame.
+        cfg.tracker.iterations = 10;
+        cfg.mapper.iterations = 10;
+        cfg.mapper.windowSize = 2;
+        cfg.mapper.densifyStride = 5;
+        break;
+    }
+    return cfg;
+}
+
+SlamSystem::SlamSystem(const SlamConfig &config,
+                       const Intrinsics &intrinsics)
+    : config_(config), intrinsics_(intrinsics),
+      tracker_(config.tracker), mapper_(config.mapper)
+{
+    gs::RenderSettings settings;
+    settings.background = {0.03f, 0.03f, 0.05f};
+    pipeline_ = gs::RenderPipeline(settings);
+
+    switch (config.algorithm) {
+      case BaseAlgorithm::GsSlam:
+        keyframePolicy_ = std::make_unique<PoseDistanceKeyframePolicy>(
+            config.kfTranslationThreshold, config.kfRotationThreshold);
+        break;
+      case BaseAlgorithm::MonoGs:
+        keyframePolicy_ =
+            std::make_unique<IntervalKeyframePolicy>(config.kfInterval);
+        break;
+      case BaseAlgorithm::PhotoSlam:
+        keyframePolicy_ = std::make_unique<PhotometricKeyframePolicy>(
+            config.kfPhotometricRmse);
+        break;
+      case BaseAlgorithm::SplaTam:
+        keyframePolicy_ = std::make_unique<EveryFrameKeyframePolicy>();
+        break;
+    }
+}
+
+void
+SlamSystem::setTrackIterationHook(TrackIterationHook hook)
+{
+    trackHook_ = std::move(hook);
+}
+
+void
+SlamSystem::setMapIterationHook(MapIterationHook hook)
+{
+    mapHook_ = std::move(hook);
+}
+
+SE3
+SlamSystem::constantVelocityGuess() const
+{
+    size_t n = trajectory_.size();
+    if (n == 0)
+        return SE3::identity();
+    if (n == 1)
+        return trajectory_[0];
+    // delta maps pose[n-2] to pose[n-1]; apply it once more.
+    SE3 delta = trajectory_[n - 1] * trajectory_[n - 2].inverse();
+    return delta * trajectory_[n - 1];
+}
+
+SE3
+SlamSystem::geometricTrack(const data::Frame &frame,
+                           const SE3 &init) const
+{
+    if (prevDepth_.empty())
+        return init;
+
+    SE3 cam_to_world = init.inverse();
+    SE3 prev_cam_to_world = prevPose_.inverse();
+    u32 stride = std::max<u32>(1, config_.icpStride);
+
+    // Sensor depth noise would make finite-difference normals useless;
+    // smooth the reference depth with a small box filter over valid
+    // pixels first (standard practice for normal estimation).
+    ImageF smooth(prevDepth_.width(), prevDepth_.height());
+    for (u32 y = 0; y < smooth.height(); ++y) {
+        for (u32 x = 0; x < smooth.width(); ++x) {
+            Real acc = 0;
+            u32 n = 0;
+            for (i32 dy = -1; dy <= 1; ++dy) {
+                for (i32 dx = -1; dx <= 1; ++dx) {
+                    i32 sx = static_cast<i32>(x) + dx;
+                    i32 sy = static_cast<i32>(y) + dy;
+                    if (sx < 0 || sy < 0 ||
+                        sx >= static_cast<i32>(smooth.width()) ||
+                        sy >= static_cast<i32>(smooth.height())) {
+                        continue;
+                    }
+                    Real d = prevDepth_.at(static_cast<u32>(sx),
+                                           static_cast<u32>(sy));
+                    if (d > 0) {
+                        acc += d;
+                        ++n;
+                    }
+                }
+            }
+            smooth.at(x, y) = n >= 5 ? acc / static_cast<Real>(n)
+                                     : Real(0);
+        }
+    }
+
+    // Surface normals of the previous depth map (world frame), for
+    // point-to-plane residuals; point-to-point slides on the planar
+    // surfaces that dominate indoor scenes.
+    auto prev_point = [&](i32 x, i32 y) -> Vec3f {
+        Real d = smooth.at(static_cast<u32>(x), static_cast<u32>(y));
+        return intrinsics_.unproject({static_cast<Real>(x) + Real(0.5),
+                                      static_cast<Real>(y) + Real(0.5)},
+                                     d);
+    };
+
+    for (u32 iter = 0; iter < config_.icpIterations; ++iter) {
+        double h[6][6] = {};
+        double b[6] = {};
+        size_t pairs = 0;
+
+        for (u32 y = stride / 2; y < frame.depth.height(); y += stride) {
+            for (u32 x = stride / 2; x < frame.depth.width(); x += stride) {
+                Real d = frame.depth.at(x, y);
+                if (d <= 0)
+                    continue;
+                Vec3f p_cam = intrinsics_.unproject(
+                    {static_cast<Real>(x) + Real(0.5),
+                     static_cast<Real>(y) + Real(0.5)}, d);
+                Vec3f p_world = cam_to_world.apply(p_cam);
+
+                // Projective association into the previous frame.
+                Vec3f q_cam = prevPose_.apply(p_world);
+                if (q_cam.z <= Real(0.05))
+                    continue;
+                Vec2f px = intrinsics_.project(q_cam);
+                i32 qx = static_cast<i32>(px.x);
+                i32 qy = static_cast<i32>(px.y);
+                // Normals need a wide finite-difference baseline to be
+                // robust against sensor depth noise.
+                const i32 nb = 3;
+                if (qx < nb || qy < nb ||
+                    qx + nb >= static_cast<i32>(smooth.width()) ||
+                    qy + nb >= static_cast<i32>(smooth.height())) {
+                    continue;
+                }
+                Real dq = smooth.at(static_cast<u32>(qx),
+                                    static_cast<u32>(qy));
+                Real dqx = smooth.at(static_cast<u32>(qx + nb),
+                                     static_cast<u32>(qy));
+                Real dqy = smooth.at(static_cast<u32>(qx),
+                                     static_cast<u32>(qy + nb));
+                if (dq <= 0 || dqx <= 0 || dqy <= 0)
+                    continue;
+                // Reject normals that straddle a depth discontinuity.
+                if (std::abs(dqx - dq) > Real(0.15) * dq ||
+                    std::abs(dqy - dq) > Real(0.15) * dq) {
+                    continue;
+                }
+
+                Vec3f q0 = prev_point(qx, qy);
+                Vec3f qx1 = prev_point(qx + nb, qy);
+                Vec3f qy1 = prev_point(qx, qy + nb);
+                Vec3f n_cam = (qx1 - q0).cross(qy1 - q0);
+                Real n_len = n_cam.norm();
+                if (n_len < Real(1e-9))
+                    continue;
+                n_cam = n_cam / n_len;
+
+                Vec3f q_world = prev_cam_to_world.apply(q0);
+                Vec3f n_world = prev_cam_to_world.rot * n_cam;
+
+                // Point-to-plane residual with a Cauchy robust weight:
+                // sensor depth noise grows with range, so large
+                // residuals are down-weighted rather than trusted.
+                Real r = n_world.dot(p_world - q_world);
+                if (std::abs(r) > Real(0.3))
+                    continue; // hard outlier gate
+                Real k = Real(0.05) * std::max(Real(1), dq);
+                Real w = 1 / (1 + (r / k) * (r / k));
+
+                // d(p_world)/d(xi) = [I | -[p_world]x]; project onto n.
+                Vec3f cr = p_world.cross(n_world);
+                Real jac[6] = {n_world.x, n_world.y, n_world.z,
+                               cr.x, cr.y, cr.z};
+                for (int ci = 0; ci < 6; ++ci) {
+                    b[ci] += w * jac[ci] * r;
+                    for (int cj = ci; cj < 6; ++cj)
+                        h[ci][cj] += w * jac[ci] * jac[cj];
+                }
+                ++pairs;
+            }
+        }
+        if (pairs < 12)
+            break;
+        for (int ci = 0; ci < 6; ++ci) {
+            for (int cj = 0; cj < ci; ++cj)
+                h[ci][cj] = h[cj][ci];
+            h[ci][ci] += 1e-6; // Levenberg damping
+        }
+        double x[6];
+        if (!solve6(h, b, x))
+            break;
+        Twist step{{static_cast<Real>(-x[0]), static_cast<Real>(-x[1]),
+                    static_cast<Real>(-x[2])},
+                   {static_cast<Real>(-x[3]), static_cast<Real>(-x[4]),
+                    static_cast<Real>(-x[5])}};
+        cam_to_world = cam_to_world.retract(step);
+        if (step.norm() < Real(1e-6))
+            break;
+    }
+    return cam_to_world.inverse();
+}
+
+bool
+SlamSystem::decideKeyframe(const KeyframeQuery &query)
+{
+    return query.frameIndex == 0 || keyframePolicy_->isKeyframe(query);
+}
+
+bool
+SlamSystem::predictKeyframe(const data::Frame &frame) const
+{
+    if (!bootstrapped_)
+        return true;
+    KeyframeQuery query;
+    query.frameIndex = frame.index;
+    query.lastKeyframeIndex = lastKeyframeIndex_;
+    query.currentPose = constantVelocityGuess();
+    query.lastKeyframePose = lastKeyframePose_;
+    query.currentImage = &frame.rgb;
+    query.lastKeyframeImage =
+        lastKeyframeImage_.empty() ? nullptr : &lastKeyframeImage_;
+    // The policy objects are stateless; const_cast avoids duplicating
+    // the decision path for the prediction-only call.
+    auto *policy = const_cast<KeyframePolicy *>(keyframePolicy_.get());
+    return policy->isKeyframe(query);
+}
+
+FrameReport
+SlamSystem::processFrame(const data::Frame &frame, Real tracking_scale,
+                         const bool *force_keyframe)
+{
+    rtgs_assert(tracking_scale > 0 && tracking_scale <= 1);
+    FrameReport report;
+    report.frameIndex = frame.index;
+
+    SE3 pose;
+    if (!bootstrapped_) {
+        // Frame 0 anchors the world frame (standard SLAM convention).
+        pose = frame.gtPose;
+        bootstrapped_ = true;
+    } else {
+        SE3 guess = constantVelocityGuess();
+        StageProfiler::Scope scope(profiler_, "tracking");
+        auto t0 = std::chrono::steady_clock::now();
+        if (config_.algorithm == BaseAlgorithm::PhotoSlam) {
+            pose = geometricTrack(frame, guess);
+        } else {
+            const ImageRGB *rgb = &frame.rgb;
+            const ImageF *depth = &frame.depth;
+            ImageRGB scaled_rgb;
+            ImageF scaled_depth;
+            Intrinsics intr = intrinsics_;
+            if (tracking_scale < 1) {
+                intr = intrinsics_.scaled(tracking_scale);
+                scaled_rgb = resizeBox(frame.rgb, intr.width, intr.height);
+                // Depth uses nearest sampling: averaging across
+                // silhouettes invents phantom surfaces.
+                scaled_depth =
+                    resizeNearest(frame.depth, intr.width, intr.height);
+                rgb = &scaled_rgb;
+                depth = &scaled_depth;
+            }
+            TrackResult tr = tracker_.track(pipeline_, cloud_, intr,
+                                            guess, *rgb, depth,
+                                            trackHook_);
+            pose = tr.pose;
+            report.trackLoss = tr.finalLoss;
+        }
+        report.trackSeconds = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+    }
+    trajectory_.push_back(pose);
+
+    if (force_keyframe) {
+        report.isKeyframe = frame.index == 0 || *force_keyframe;
+    } else {
+        // Keyframe decision uses the tracked pose and current image.
+        KeyframeQuery query;
+        query.frameIndex = frame.index;
+        query.lastKeyframeIndex = lastKeyframeIndex_;
+        query.currentPose = pose;
+        query.lastKeyframePose = lastKeyframePose_;
+        query.currentImage = &frame.rgb;
+        query.lastKeyframeImage =
+            lastKeyframeImage_.empty() ? nullptr : &lastKeyframeImage_;
+        report.isKeyframe = decideKeyframe(query);
+    }
+
+    if (report.isKeyframe) {
+        auto t0 = std::chrono::steady_clock::now();
+        StageProfiler::Scope scope(profiler_, "mapping");
+        KeyframeRecord record{frame.index, pose, frame.rgb, frame.depth};
+        report.densified =
+            mapper_.densify(pipeline_, cloud_, intrinsics_, record);
+        mapper_.addKeyframe(std::move(record));
+        report.mapLoss =
+            mapper_.map(pipeline_, cloud_, intrinsics_, mapHook_);
+        mapper_.pruneTransparent(cloud_);
+        lastKeyframeIndex_ = frame.index;
+        lastKeyframeImage_ = frame.rgb;
+        lastKeyframePose_ = pose;
+        report.mapSeconds = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+    }
+
+    prevDepth_ = frame.depth;
+    prevPose_ = pose;
+
+    report.pose = pose;
+    report.gaussianCount = cloud_.size();
+    report.gaussianBytes = cloud_.parameterBytes();
+    peakBytes_ = std::max(peakBytes_, report.gaussianBytes);
+    reports_.push_back(report);
+    return report;
+}
+
+ImageRGB
+SlamSystem::renderView(const SE3 &pose) const
+{
+    Camera cam(intrinsics_, pose);
+    gs::ForwardContext ctx = pipeline_.forward(cloud_, cam);
+    return ctx.result.image;
+}
+
+} // namespace rtgs::slam

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * End-to-end SLAM system assembling tracking + mapping with one of the
+ * four base-algorithm profiles the paper evaluates (Sec. 2.3/6.1):
+ *
+ *  - GS-SLAM-like:   keyframes on pose distance, RGB-D tracking
+ *  - MonoGS-like:    keyframes on fixed intervals, RGB-D tracking,
+ *                    denser maps
+ *  - Photo-SLAM-like: keyframes on photometric change; tracking uses a
+ *                    classical geometric (projective ICP) backend
+ *                    instead of rendering backpropagation
+ *  - SplaTAM-like:   every frame is mapped (no keyframe selection)
+ *
+ * Each profile only configures this one system; the RTGS algorithm
+ * layer (src/core) plugs pruning and downsampling into any of them.
+ */
+
+#ifndef RTGS_SLAM_PIPELINE_HH
+#define RTGS_SLAM_PIPELINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hh"
+#include "slam/keyframe.hh"
+#include "slam/mapper.hh"
+#include "slam/profiler.hh"
+#include "slam/tracker.hh"
+
+namespace rtgs::slam
+{
+
+/** The base 3DGS-SLAM algorithm profiles from the paper. */
+enum class BaseAlgorithm { GsSlam, MonoGs, PhotoSlam, SplaTam };
+
+/** Human-readable algorithm name. */
+const char *algorithmName(BaseAlgorithm algo);
+
+/** Full system configuration. */
+struct SlamConfig
+{
+    BaseAlgorithm algorithm = BaseAlgorithm::MonoGs;
+    TrackerConfig tracker;
+    MapperConfig mapper;
+
+    // Keyframe policy parameters (profile-dependent).
+    u32 kfInterval = 8;
+    Real kfTranslationThreshold = Real(0.15);
+    Real kfRotationThreshold = Real(0.20);
+    Real kfPhotometricRmse = Real(0.08);
+
+    /** Projective-ICP iterations for the Photo-SLAM tracking backend. */
+    u32 icpIterations = 6;
+    /** Pixel stride for ICP point sampling. */
+    u32 icpStride = 4;
+
+    /** Build the per-profile default configuration. */
+    static SlamConfig forAlgorithm(BaseAlgorithm algo);
+};
+
+/** Per-frame outcome report. */
+struct FrameReport
+{
+    u32 frameIndex = 0;
+    bool isKeyframe = false;
+    SE3 pose;
+    double trackLoss = 0;
+    double mapLoss = 0;
+    size_t gaussianCount = 0;
+    size_t gaussianBytes = 0;
+    size_t densified = 0;
+    double trackSeconds = 0;
+    double mapSeconds = 0;
+};
+
+/**
+ * The SLAM system. Feed frames in order via processFrame(); read the
+ * trajectory, map, and reports afterwards.
+ */
+class SlamSystem
+{
+  public:
+    SlamSystem(const SlamConfig &config, const Intrinsics &intrinsics);
+
+    const SlamConfig &config() const { return config_; }
+    const gs::GaussianCloud &cloud() const { return cloud_; }
+    gs::GaussianCloud &cloud() { return cloud_; }
+    const std::vector<SE3> &trajectory() const { return trajectory_; }
+    const std::vector<FrameReport> &reports() const { return reports_; }
+    const gs::RenderPipeline &renderPipeline() const { return pipeline_; }
+    StageProfiler &profiler() { return profiler_; }
+    Mapper &mapper() { return mapper_; }
+
+    /** Largest Gaussian-parameter footprint seen so far (bytes). */
+    size_t peakGaussianBytes() const { return peakBytes_; }
+
+    /** Per-iteration observers (RTGS pruning / HW trace capture). */
+    void setTrackIterationHook(TrackIterationHook hook);
+    void setMapIterationHook(MapIterationHook hook);
+
+    /**
+     * Process the next frame. `tracking_scale` (0 < s <= 1) optionally
+     * tracks against a downsampled observation (RTGS dynamic
+     * downsampling); 1 keeps the native resolution.
+     *
+     * @param force_keyframe when non-null, overrides the keyframe
+     *        policy with the given decision (RTGS decides keyframe
+     *        status before tracking so downsampling can reuse it)
+     * @return report for this frame
+     */
+    FrameReport processFrame(const data::Frame &frame,
+                             Real tracking_scale = Real(1),
+                             const bool *force_keyframe = nullptr);
+
+    /**
+     * Predict the keyframe decision for the upcoming frame before
+     * tracking it, using the constant-velocity pose guess. RTGS's
+     * dynamic downsampling reuses this prediction (Sec. 4.2).
+     */
+    bool predictKeyframe(const data::Frame &frame) const;
+
+    /**
+     * Render the current map at a given pose/resolution (evaluation).
+     */
+    ImageRGB renderView(const SE3 &pose) const;
+
+    /** Decide keyframe status for a tracked frame (exposed for tests). */
+    bool decideKeyframe(const KeyframeQuery &query);
+
+  private:
+    SE3 constantVelocityGuess() const;
+
+    /** Photo-SLAM-style classical tracking: projective point ICP. */
+    SE3 geometricTrack(const data::Frame &frame, const SE3 &init) const;
+
+    SlamConfig config_;
+    Intrinsics intrinsics_;
+    gs::RenderPipeline pipeline_;
+    Tracker tracker_;
+    Mapper mapper_;
+    std::unique_ptr<KeyframePolicy> keyframePolicy_;
+    gs::GaussianCloud cloud_;
+    std::vector<SE3> trajectory_;
+    std::vector<FrameReport> reports_;
+    StageProfiler profiler_;
+    TrackIterationHook trackHook_;
+    MapIterationHook mapHook_;
+    size_t peakBytes_ = 0;
+    u32 lastKeyframeIndex_ = 0;
+    ImageRGB lastKeyframeImage_;
+    SE3 lastKeyframePose_;
+    // Previous frame data for the geometric (ICP) tracking backend.
+    ImageF prevDepth_;
+    SE3 prevPose_;
+    bool bootstrapped_ = false;
+};
+
+} // namespace rtgs::slam
+
+#endif // RTGS_SLAM_PIPELINE_HH

@@ -1,0 +1,48 @@
+#include "slam/profiler.hh"
+
+namespace rtgs::slam
+{
+
+StageProfiler::Scope::Scope(StageProfiler &profiler, std::string stage)
+    : profiler_(profiler), stage_(std::move(stage)),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+StageProfiler::Scope::~Scope()
+{
+    auto end = std::chrono::steady_clock::now();
+    profiler_.add(stage_,
+                  std::chrono::duration<double>(end - start_).count());
+}
+
+void
+StageProfiler::add(const std::string &stage, double seconds)
+{
+    stages_[stage] += seconds;
+}
+
+double
+StageProfiler::seconds(const std::string &stage) const
+{
+    auto it = stages_.find(stage);
+    return it == stages_.end() ? 0.0 : it->second;
+}
+
+double
+StageProfiler::totalSeconds() const
+{
+    double t = 0;
+    for (const auto &[_, s] : stages_)
+        t += s;
+    return t;
+}
+
+double
+StageProfiler::fraction(const std::string &stage) const
+{
+    double total = totalSeconds();
+    return total > 0 ? seconds(stage) / total : 0.0;
+}
+
+} // namespace rtgs::slam

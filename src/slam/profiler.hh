@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Wall-clock stage profiler for the SLAM pipeline, producing the
+ * latency breakdowns of Fig. 3: tracking vs mapping vs other at the
+ * pipeline level, and per-step (preprocessing / sorting / rendering /
+ * rendering BP / preprocessing BP) within a stage.
+ */
+
+#ifndef RTGS_SLAM_PROFILER_HH
+#define RTGS_SLAM_PROFILER_HH
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace rtgs::slam
+{
+
+/** Accumulates wall-clock seconds per named stage. */
+class StageProfiler
+{
+  public:
+    /** RAII timer adding elapsed time to a stage on destruction. */
+    class Scope
+    {
+      public:
+        Scope(StageProfiler &profiler, std::string stage);
+        ~Scope();
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        StageProfiler &profiler_;
+        std::string stage_;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+    /** Add seconds to a stage directly. */
+    void add(const std::string &stage, double seconds);
+
+    /** Accumulated seconds of a stage (0 if never recorded). */
+    double seconds(const std::string &stage) const;
+
+    /** Sum across all stages. */
+    double totalSeconds() const;
+
+    /** Fraction of total time spent in a stage. */
+    double fraction(const std::string &stage) const;
+
+    const std::map<std::string, double> &stages() const { return stages_; }
+
+    void clear() { stages_.clear(); }
+
+  private:
+    std::map<std::string, double> stages_;
+};
+
+} // namespace rtgs::slam
+
+#endif // RTGS_SLAM_PROFILER_HH

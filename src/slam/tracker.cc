@@ -1,0 +1,78 @@
+#include "slam/tracker.hh"
+
+namespace rtgs::slam
+{
+
+Tracker::Tracker(const TrackerConfig &config)
+    : config_(config)
+{
+}
+
+TrackResult
+Tracker::track(const gs::RenderPipeline &pipeline,
+               const gs::GaussianCloud &cloud, const Intrinsics &intr,
+               const SE3 &init_pose, const ImageRGB &rgb,
+               const ImageF *depth, const TrackIterationHook &hook) const
+{
+    TrackResult result;
+    result.lossHistory.reserve(config_.iterations);
+
+    SE3 pose = init_pose;
+    SE3 best_pose = init_pose;
+    double best_loss = std::numeric_limits<double>::infinity();
+    u32 stale = 0;
+    Real decay = Real(1);
+    PoseOptimizer optimizer(config_.lrTranslation, config_.lrRotation);
+
+    for (u32 it = 0; it < config_.iterations; ++it) {
+        // Decayed learning rates damp the wander Adam's near-constant
+        // step size causes once the loss floor is reached.
+        optimizer.setLearningRates(config_.lrTranslation * decay,
+                                   config_.lrRotation * decay);
+        decay *= config_.lrDecay;
+
+        Camera cam(intr, pose);
+        gs::ForwardContext ctx = pipeline.forward(cloud, cam);
+        LossResult loss = computeLoss(ctx.result, rgb, depth,
+                                      config_.loss);
+        gs::BackwardResult back = pipeline.backward(
+            cloud, ctx, loss.dlDColor,
+            config_.loss.useDepth && depth ? &loss.dlDDepth : nullptr,
+            /*compute_pose_grad=*/true);
+
+        result.lossHistory.push_back(loss.loss);
+        result.totalFragments += ctx.result.totalFragments();
+        result.iterationsRun = it + 1;
+
+        if (hook) {
+            TrackIterationContext tctx;
+            tctx.iteration = it;
+            tctx.forward = &ctx;
+            tctx.backward = &back;
+            tctx.loss = loss.loss;
+            hook(tctx);
+        }
+
+        bool improved = loss.loss <
+            best_loss * (1.0 - static_cast<double>(
+                config_.minRelImprovement));
+        if (loss.loss < best_loss) {
+            best_loss = loss.loss;
+            best_pose = pose; // the pose this loss was evaluated at
+        }
+        if (improved) {
+            stale = 0;
+        } else if (config_.earlyStop &&
+                   ++stale >= config_.plateauPatience) {
+            break;
+        }
+
+        optimizer.step(pose, back.poseGrad);
+    }
+
+    result.pose = best_pose;
+    result.finalLoss = best_loss;
+    return result;
+}
+
+} // namespace rtgs::slam

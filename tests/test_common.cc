@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: RNG determinism and
+ * statistical sanity, running stats, histograms, the stats registry,
+ * the table printer, and the thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+
+namespace rtgs
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next()) ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double acc = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(3);
+    std::set<u64> seen;
+    for (int i = 0; i < 1000; ++i) {
+        u64 v = rng.uniformInt(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all residues hit
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(13);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(s.mean(), 2.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    RunningStat all, a, b;
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        double v = rng.normal();
+        all.add(v);
+        (i < 40 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bin 0
+    h.add(9.5);   // bin 9
+    h.add(-3.0);  // clamps to bin 0
+    h.add(40.0);  // clamps to bin 9
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, PercentileMonotonic)
+{
+    Histogram h(0.0, 100.0, 100);
+    Rng rng(23);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.uniform(0, 100));
+    double p25 = h.percentileApprox(0.25);
+    double p50 = h.percentileApprox(0.50);
+    double p90 = h.percentileApprox(0.90);
+    EXPECT_LE(p25, p50);
+    EXPECT_LE(p50, p90);
+    EXPECT_NEAR(p50, 50.0, 3.0);
+}
+
+TEST(StatsRegistry, IncSetGet)
+{
+    StatsRegistry reg;
+    reg.inc("frames");
+    reg.inc("frames", 2.0);
+    reg.set("fps", 31.5);
+    EXPECT_DOUBLE_EQ(reg.get("frames"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.get("fps"), 31.5);
+    EXPECT_DOUBLE_EQ(reg.get("missing"), 0.0);
+    EXPECT_TRUE(reg.has("fps"));
+    EXPECT_FALSE(reg.has("missing"));
+    reg.clear();
+    EXPECT_FALSE(reg.has("fps"));
+}
+
+TEST(StatsRegistry, DumpSortedByName)
+{
+    StatsRegistry reg;
+    reg.set("b", 2);
+    reg.set("a", 1);
+    std::string d = reg.dump();
+    EXPECT_LT(d.find("a 1"), d.find("b 2"));
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "2"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    EXPECT_NE(s.find("value"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, NumFormatsPrecision)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(ThreadPool, ParallelForCoversRange)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, hits.size(), [&](size_t i) { hits[i]++; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop)
+{
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelFor(5, 5, [&](size_t) { calls++; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, NestedUseFromResults)
+{
+    // Sum of squares computed in parallel equals the closed form.
+    ThreadPool pool(3);
+    std::vector<long> sq(2001);
+    pool.parallelFor(0, sq.size(), [&](size_t i) {
+        sq[i] = static_cast<long>(i) * static_cast<long>(i);
+    });
+    long total = 0;
+    for (long v : sq)
+        total += v;
+    long n = 2000;
+    EXPECT_EQ(total, n * (n + 1) * (2 * n + 1) / 6);
+}
+
+} // namespace rtgs

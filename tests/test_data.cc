@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the synthetic data substrate: scene synthesis determinism
+ * and structure, trajectory smoothness, dataset presets, frame
+ * rendering, and the frame-similarity property (Observation 5's
+ * premise) that downstream experiments rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hh"
+#include "image/metrics.hh"
+
+namespace rtgs::data
+{
+
+TEST(Scene, DeterministicForSeed)
+{
+    SceneConfig cfg;
+    cfg.surfelSpacing = Real(0.4);
+    gs::GaussianCloud a = buildScene(cfg);
+    gs::GaussianCloud b = buildScene(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.positions[i].x, b.positions[i].x);
+        EXPECT_EQ(a.shCoeffs[i].x, b.shCoeffs[i].x);
+    }
+}
+
+TEST(Scene, SeedChangesScene)
+{
+    SceneConfig cfg;
+    cfg.surfelSpacing = Real(0.4);
+    gs::GaussianCloud a = buildScene(cfg);
+    cfg.seed = 999;
+    gs::GaussianCloud b = buildScene(cfg);
+    // Same structure sizes but different surface content.
+    bool differs = a.size() != b.size();
+    for (size_t i = 0; !differs && i < std::min(a.size(), b.size()); ++i)
+        differs = !(a.shCoeffs[i] == b.shCoeffs[i]);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Scene, GaussiansInsideRoomBounds)
+{
+    SceneConfig cfg;
+    cfg.surfelSpacing = Real(0.35);
+    gs::GaussianCloud cloud = buildScene(cfg);
+    const Vec3f &he = cfg.roomHalfExtents;
+    for (size_t i = 0; i < cloud.size(); ++i) {
+        EXPECT_LE(std::abs(cloud.positions[i].x), he.x + Real(0.3));
+        EXPECT_LE(std::abs(cloud.positions[i].y), he.y + Real(0.3));
+        EXPECT_LE(std::abs(cloud.positions[i].z), he.z + Real(0.3));
+    }
+}
+
+TEST(Scene, DensityScalesWithSpacing)
+{
+    SceneConfig coarse, fine;
+    coarse.surfelSpacing = Real(0.4);
+    fine.surfelSpacing = Real(0.2);
+    size_t n_coarse = buildScene(coarse).size();
+    size_t n_fine = buildScene(fine).size();
+    // Halving spacing should roughly quadruple surfel count.
+    EXPECT_GT(n_fine, 3 * n_coarse);
+    EXPECT_LT(n_fine, 6 * n_coarse);
+}
+
+TEST(Scene, ValueNoiseIsDeterministicAndBounded)
+{
+    for (int i = 0; i < 100; ++i) {
+        Vec3f p{Real(0.37) * i, Real(-0.11) * i, Real(0.23) * i};
+        Real a = valueNoise3(p, 42);
+        Real b = valueNoise3(p, 42);
+        EXPECT_EQ(a, b);
+        EXPECT_GE(a, 0);
+        EXPECT_LE(a, 1);
+    }
+}
+
+TEST(Scene, ValueNoiseVaries)
+{
+    Real v0 = valueNoise3({0.1f, 0.2f, 0.3f}, 1);
+    Real v1 = valueNoise3({5.7f, 2.9f, 8.1f}, 1);
+    EXPECT_NE(v0, v1);
+}
+
+TEST(Trajectory, CountAndSmoothness)
+{
+    TrajectoryConfig cfg;
+    cfg.frameCount = 40;
+    std::vector<SE3> poses = generateTrajectory(cfg);
+    ASSERT_EQ(poses.size(), 40u);
+    // Consecutive poses move smoothly: bounded translation and rotation.
+    for (size_t i = 1; i < poses.size(); ++i) {
+        EXPECT_LT(SE3::translationDistance(poses[i - 1], poses[i]), 0.5);
+        EXPECT_LT(SE3::rotationDistance(poses[i - 1], poses[i]), 0.3);
+    }
+}
+
+TEST(Trajectory, StaysInsideRoom)
+{
+    TrajectoryConfig cfg;
+    cfg.frameCount = 60;
+    std::vector<SE3> poses = generateTrajectory(cfg);
+    for (const SE3 &p : poses) {
+        Vec3f c = p.centre();
+        EXPECT_LT(std::abs(c.x), cfg.roomHalfExtents.x);
+        EXPECT_LT(std::abs(c.y), cfg.roomHalfExtents.y);
+        EXPECT_LT(std::abs(c.z), cfg.roomHalfExtents.z);
+    }
+}
+
+TEST(DatasetSpec, PresetsMatchPaperShapes)
+{
+    auto presets = DatasetSpec::allPresets(Real(1.0));
+    ASSERT_EQ(presets.size(), 4u);
+    EXPECT_EQ(presets[0].fullWidth, 640u);   // TUM
+    EXPECT_EQ(presets[0].fullHeight, 480u);
+    EXPECT_EQ(presets[1].fullWidth, 1200u);  // Replica
+    EXPECT_EQ(presets[1].fullHeight, 680u);
+    EXPECT_EQ(presets[2].fullWidth, 1296u);  // ScanNet
+    EXPECT_EQ(presets[3].fullWidth, 1752u);  // ScanNet++
+    // Complexity ordering: later datasets have finer sampling.
+    EXPECT_GT(presets[0].scene.surfelSpacing,
+              presets[1].scene.surfelSpacing);
+    EXPECT_GT(presets[1].scene.surfelSpacing,
+              presets[2].scene.surfelSpacing);
+}
+
+TEST(DatasetSpec, ScaleShrinksResolution)
+{
+    DatasetSpec s = DatasetSpec::tumLike(Real(0.25));
+    EXPECT_EQ(s.width(), 160u);
+    EXPECT_EQ(s.height(), 120u);
+}
+
+TEST(DatasetSpec, ReplicaScenesDiffer)
+{
+    DatasetSpec r0 = DatasetSpec::replicaScene("Rm0", Real(0.2));
+    DatasetSpec of0 = DatasetSpec::replicaScene("Of0", Real(0.2));
+    EXPECT_NE(r0.scene.seed, of0.scene.seed);
+}
+
+class DatasetFixture : public ::testing::Test
+{
+  protected:
+    static SyntheticDataset &
+    dataset()
+    {
+        // Small shared dataset: built once for the whole suite.
+        static DatasetSpec spec = [] {
+            DatasetSpec s = DatasetSpec::tumLike(Real(0.15));
+            s.scene.surfelSpacing = Real(0.3);
+            s.trajectory.frameCount = 12;
+            s.trajectory.revolutions = Real(0.1); // realistic motion
+            return s;
+        }();
+        static SyntheticDataset ds(spec);
+        return ds;
+    }
+};
+
+TEST_F(DatasetFixture, FramesHaveContent)
+{
+    const Frame &f = dataset().frame(0);
+    EXPECT_EQ(f.rgb.width(), dataset().spec().width());
+    // The camera is inside a closed textured room: nearly all pixels
+    // should be covered with valid depth and non-trivial colour.
+    size_t covered = 0;
+    double mean_lum = 0;
+    for (size_t i = 0; i < f.depth.pixelCount(); ++i) {
+        covered += f.depth[i] > 0 ? 1 : 0;
+        mean_lum += luminance(f.rgb[i]);
+    }
+    mean_lum /= static_cast<double>(f.rgb.pixelCount());
+    EXPECT_GT(static_cast<double>(covered) /
+              static_cast<double>(f.depth.pixelCount()), 0.9);
+    EXPECT_GT(mean_lum, 0.05);
+    EXPECT_LT(mean_lum, 0.95);
+}
+
+TEST_F(DatasetFixture, DepthIsPlausible)
+{
+    const Frame &f = dataset().frame(3);
+    const Vec3f &he = dataset().spec().scene.roomHalfExtents;
+    Real max_range = 2 * he.norm();
+    for (size_t i = 0; i < f.depth.pixelCount(); ++i) {
+        if (f.depth[i] > 0) {
+            EXPECT_GT(f.depth[i], 0.02f);
+            EXPECT_LT(f.depth[i], max_range);
+        }
+    }
+}
+
+TEST_F(DatasetFixture, FrameCachingReturnsSameData)
+{
+    const Frame &a = dataset().frame(5);
+    const Frame &b = dataset().frame(5);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST_F(DatasetFixture, ConsecutiveFramesAreSimilar)
+{
+    // Observation 5's premise: consecutive frames are highly similar.
+    // Compare against the frame whose pose is farthest from frame 6.
+    const Frame &a = dataset().frame(6);
+    const Frame &b = dataset().frame(7);
+    u32 far_idx = 0;
+    Real far_dist = 0;
+    for (u32 f = 0; f < dataset().frameCount(); ++f) {
+        Real d = SE3::translationDistance(dataset().gtPose(6),
+                                          dataset().gtPose(f)) +
+                 SE3::rotationDistance(dataset().gtPose(6),
+                                       dataset().gtPose(f));
+        if (d > far_dist) {
+            far_dist = d;
+            far_idx = f;
+        }
+    }
+    const Frame &far = dataset().frame(far_idx);
+    double near_rmse = imageRmse(a.rgb, b.rgb);
+    double far_rmse = imageRmse(a.rgb, far.rgb);
+    EXPECT_GT(ssim(a.rgb, b.rgb), 0.5);
+    EXPECT_LT(near_rmse, far_rmse);
+}
+
+TEST_F(DatasetFixture, GtPosesMatchTrajectory)
+{
+    const Frame &f = dataset().frame(2);
+    EXPECT_NEAR(
+        SE3::translationDistance(f.gtPose, dataset().gtPose(2)), 0, 1e-6);
+}
+
+} // namespace rtgs::data

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Property-based sweeps (TEST_P) over randomised scenes, cameras and
+ * configurations: invariants that must hold for *any* input, not just
+ * hand-picked cases — compositing bounds, masking monotonicity,
+ * scheduling dominance, and schedule algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "core/downsampling.hh"
+#include "gs/render_pipeline.hh"
+#include "hw/rtgs_model.hh"
+#include "hw/trace.hh"
+
+namespace rtgs
+{
+
+namespace
+{
+
+/** Random test scene parameterised by a seed. */
+struct RandomScene
+{
+    gs::GaussianCloud cloud;
+    Camera camera;
+
+    explicit RandomScene(u64 seed, size_t count = 40)
+    {
+        Rng rng(seed);
+        for (size_t i = 0; i < count; ++i) {
+            Vec3f pos{static_cast<Real>(rng.uniform(-1.2, 1.2)),
+                      static_cast<Real>(rng.uniform(-0.9, 0.9)),
+                      static_cast<Real>(rng.uniform(1.2, 5.0))};
+            Real scale = static_cast<Real>(rng.uniform(0.05, 0.4));
+            Real opacity = static_cast<Real>(rng.uniform(0.1, 0.9));
+            Vec3f rgb{static_cast<Real>(rng.uniform(0.05, 0.95)),
+                      static_cast<Real>(rng.uniform(0.05, 0.95)),
+                      static_cast<Real>(rng.uniform(0.05, 0.95))};
+            cloud.pushIsotropic(pos, scale, opacity, rgb);
+            // Random anisotropy and rotation on half the population.
+            if (i % 2 == 0) {
+                cloud.logScales[i].x +=
+                    static_cast<Real>(rng.uniform(-0.8, 0.8));
+                cloud.rotations[i] = Quatf::fromAxisAngle(
+                    {static_cast<Real>(rng.normal()),
+                     static_cast<Real>(rng.normal()),
+                     static_cast<Real>(rng.normal())},
+                    static_cast<Real>(rng.uniform(0, 3)));
+            }
+        }
+        camera = Camera(Intrinsics::fromFov(Real(1.2), 96, 72),
+                        SE3::lookAt(
+                            {static_cast<Real>(rng.uniform(-0.3, 0.3)),
+                             static_cast<Real>(rng.uniform(-0.3, 0.3)),
+                             static_cast<Real>(rng.uniform(-0.5, 0.0))},
+                            {0, 0, 3}));
+    }
+};
+
+} // namespace
+
+class RenderProperty : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(RenderProperty, CompositingStaysBounded)
+{
+    RandomScene scene(GetParam());
+    gs::RenderPipeline pipe;
+    auto ctx = pipe.forward(scene.cloud, scene.camera);
+    for (size_t i = 0; i < ctx.result.image.pixelCount(); ++i) {
+        // Alpha in [0,1]; transmittance in [0,1]; colours bounded by
+        // the maximal splat colour + background.
+        EXPECT_GE(ctx.result.alpha[i], 0);
+        EXPECT_LE(ctx.result.alpha[i], 1 + 1e-5);
+        EXPECT_GE(ctx.result.finalT[i], -1e-5);
+        EXPECT_LE(ctx.result.finalT[i], 1 + 1e-5);
+        EXPECT_GE(ctx.result.image[i].x, -1e-5);
+        EXPECT_LE(ctx.result.image[i].x, 1.5);
+        EXPECT_NEAR(ctx.result.alpha[i] + ctx.result.finalT[i], 1,
+                    1e-4);
+    }
+}
+
+TEST_P(RenderProperty, MaskingNeverIncreasesCoverage)
+{
+    RandomScene scene(GetParam());
+    gs::RenderPipeline pipe;
+    auto full = pipe.forward(scene.cloud, scene.camera);
+
+    // Mask a third of the Gaussians.
+    Rng rng(GetParam() ^ 0xABCD);
+    for (size_t k = 0; k < scene.cloud.size(); ++k)
+        if (rng.chance(0.33))
+            scene.cloud.active[k] = 0;
+    auto masked = pipe.forward(scene.cloud, scene.camera);
+
+    for (size_t i = 0; i < full.result.alpha.pixelCount(); ++i) {
+        EXPECT_LE(masked.result.alpha[i],
+                  full.result.alpha[i] + 1e-4);
+        EXPECT_LE(masked.result.nContrib[i], full.result.nContrib[i]);
+    }
+}
+
+TEST_P(RenderProperty, WorkloadCountersConsistent)
+{
+    RandomScene scene(GetParam());
+    gs::RenderPipeline pipe;
+    auto ctx = pipe.forward(scene.cloud, scene.camera);
+    for (u32 y = 0; y < ctx.grid.height; ++y) {
+        for (u32 x = 0; x < ctx.grid.width; ++x) {
+            u32 tile = ctx.grid.tileOfPixel(x, y);
+            EXPECT_LE(ctx.result.nBlended.at(x, y),
+                      ctx.result.nContrib.at(x, y));
+            EXPECT_LE(ctx.result.nContrib.at(x, y),
+                      ctx.bins.lists[tile].size());
+        }
+    }
+    EXPECT_TRUE(gs::tilesAreDepthSorted(ctx.bins, ctx.projected));
+}
+
+TEST_P(RenderProperty, TraceReassemblesCounters)
+{
+    RandomScene scene(GetParam());
+    gs::RenderPipeline pipe;
+    auto ctx = pipe.forward(scene.cloud, scene.camera);
+    auto trace = hw::IterationTrace::capture(ctx, scene.cloud.size());
+    u64 iterated = 0, blended = 0;
+    for (const auto *s : trace.allSubtiles()) {
+        iterated += s->sumIterated();
+        blended += s->sumBlended();
+    }
+    EXPECT_EQ(iterated, trace.fragmentsIterated);
+    EXPECT_EQ(blended, trace.fragmentsBlended);
+}
+
+TEST_P(RenderProperty, BackwardGradientsAreFinite)
+{
+    RandomScene scene(GetParam());
+    gs::RenderPipeline pipe;
+    auto ctx = pipe.forward(scene.cloud, scene.camera);
+    ImageRGB adj(96, 72, {0.5f, -0.3f, 0.2f});
+    auto back = pipe.backward(scene.cloud, ctx, adj, nullptr, true);
+    for (size_t k = 0; k < scene.cloud.size(); ++k) {
+        EXPECT_TRUE(std::isfinite(back.grads.dPositions[k].norm()));
+        EXPECT_TRUE(std::isfinite(back.grads.dLogScales[k].norm()));
+        EXPECT_TRUE(std::isfinite(back.grads.dOpacityLogits[k]));
+        EXPECT_TRUE(std::isfinite(back.grads.covGradNorms[k]));
+    }
+    EXPECT_TRUE(std::isfinite(back.poseGrad.norm()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RenderProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+class SchedulingProperty : public ::testing::TestWithParam<u64>
+{
+  protected:
+    hw::SubtileLoad
+    randomSubtile(Rng &rng, u32 max_load) const
+    {
+        hw::SubtileLoad s;
+        for (int i = 0; i < 16; ++i) {
+            u16 it = static_cast<u16>(rng.uniformInt(max_load + 1));
+            s.iterated.push_back(it);
+            s.blended.push_back(static_cast<u16>(
+                rng.uniformInt(static_cast<u64>(it) + 1)));
+        }
+        return s;
+    }
+};
+
+TEST_P(SchedulingProperty, PairingDominatesUnpaired)
+{
+    // The WSU's heavy-light pairing never loses to adjacent pairing,
+    // for any workload vector.
+    Rng rng(GetParam());
+    hw::RtgsAccelModel model;
+    for (int trial = 0; trial < 50; ++trial) {
+        hw::SubtileLoad s = randomSubtile(rng, 60);
+        EXPECT_LE(model.subtileForwardCycles(s, true),
+                  model.subtileForwardCycles(s, false) + 1e-9);
+        EXPECT_LE(model.subtileBackwardCycles(s, true, true),
+                  model.subtileBackwardCycles(s, false, true) + 1e-9);
+    }
+}
+
+TEST_P(SchedulingProperty, RbBufferAlwaysHelps)
+{
+    Rng rng(GetParam() ^ 0x1234);
+    hw::RtgsAccelModel model;
+    for (int trial = 0; trial < 50; ++trial) {
+        hw::SubtileLoad s = randomSubtile(rng, 60);
+        EXPECT_LE(model.subtileBackwardCycles(s, true, true),
+                  model.subtileBackwardCycles(s, true, false) + 1e-9);
+    }
+}
+
+TEST_P(SchedulingProperty, PairCostLowerBound)
+{
+    // No schedule can beat the total-work bound: pair cost >= (a+b)/2.
+    Rng rng(GetParam() ^ 0x777);
+    hw::RtgsAccelModel model;
+    hw::RtgsHwConfig cfg;
+    double fill = cfg.alphaComputeCycles + cfg.alphaBlendCycles;
+    for (int trial = 0; trial < 50; ++trial) {
+        hw::SubtileLoad s = randomSubtile(rng, 40);
+        double total = s.sumIterated();
+        double bound = total / 16.0; // 8 pairs x 2 lanes
+        EXPECT_GE(model.subtileForwardCycles(s, true) - fill,
+                  bound - 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulingProperty,
+                         ::testing::Values(1u, 2u, 3u));
+
+class DownsampleProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(DownsampleProperty, ScheduleIsMonotoneAndCapped)
+{
+    auto [m, min_area] = GetParam();
+    core::DownsamplerConfig cfg;
+    cfg.growthFactor = static_cast<Real>(m);
+    cfg.minAreaScale = static_cast<Real>(min_area);
+    cfg.maxAreaScale = Real(0.25);
+    cfg.minWidthPixels = 0;
+    core::DynamicDownsampler d(cfg);
+
+    Real prev = 0;
+    for (u32 n = 1; n <= 12; ++n) {
+        Real area = d.areaScaleFor(n);
+        EXPECT_GE(area, prev) << "schedule must be non-decreasing";
+        EXPECT_GE(area, cfg.minAreaScale - 1e-7);
+        EXPECT_LE(area, cfg.maxAreaScale + 1e-7);
+        prev = area;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DownsampleProperty,
+    ::testing::Combine(::testing::Values(1.5, 2.0, 3.0),
+                       ::testing::Values(1.0 / 32, 1.0 / 16, 1.0 / 8)));
+
+} // namespace rtgs

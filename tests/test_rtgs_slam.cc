@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Integration tests for the RTGS-enhanced SLAM pipeline: pruning
+ * reduces the map and the rendering workload with bounded accuracy
+ * impact, downsampling follows the schedule, and the plug-and-play
+ * claim holds across base algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rtgs_slam.hh"
+#include "slam/evaluation.hh"
+
+namespace rtgs::core
+{
+
+namespace
+{
+
+data::DatasetSpec
+tinySpec()
+{
+    data::DatasetSpec spec = data::DatasetSpec::tumLike(Real(0.15));
+    spec.scene.surfelSpacing = Real(0.28);
+    spec.trajectory.frameCount = 12;
+    spec.trajectory.revolutions = Real(0.06);
+    spec.noise.enabled = false;
+    return spec;
+}
+
+data::SyntheticDataset &
+tinyDataset()
+{
+    static data::SyntheticDataset ds(tinySpec());
+    return ds;
+}
+
+RtgsSlamConfig
+fastConfig()
+{
+    RtgsSlamConfig cfg;
+    cfg.base = slam::SlamConfig::forAlgorithm(slam::BaseAlgorithm::MonoGs);
+    cfg.base.tracker.iterations = 10;
+    cfg.base.mapper.iterations = 12;
+    cfg.base.kfInterval = 4;
+    cfg.pruner.minGaussians = 32;
+    cfg.downsampler.minWidthPixels = 48;
+    return cfg;
+}
+
+std::vector<SE3>
+gtTrajectory()
+{
+    std::vector<SE3> gt;
+    for (u32 f = 0; f < tinyDataset().frameCount(); ++f)
+        gt.push_back(tinyDataset().gtPose(f));
+    return gt;
+}
+
+} // namespace
+
+TEST(RtgsSlamTest, RunsFullSequence)
+{
+    auto &ds = tinyDataset();
+    RtgsSlam rtgs(fastConfig(), ds.intrinsics());
+    for (u32 f = 0; f < ds.frameCount(); ++f)
+        rtgs.processFrame(ds.frame(f));
+    EXPECT_EQ(rtgs.reports().size(), ds.frameCount());
+    EXPECT_EQ(rtgs.system().trajectory().size(), ds.frameCount());
+}
+
+TEST(RtgsSlamTest, PruningShrinksWorkload)
+{
+    auto &ds = tinyDataset();
+
+    auto run = [&](bool prune) {
+        RtgsSlamConfig cfg = fastConfig();
+        cfg.enablePruning = prune;
+        cfg.enableDownsampling = false;
+        RtgsSlam rtgs(cfg, ds.intrinsics());
+        u64 fragments = 0;
+        rtgs.setExternalTrackHook(
+            [&](const slam::TrackIterationContext &ctx) {
+                fragments += ctx.forward->result.totalFragments();
+            });
+        for (u32 f = 0; f < ds.frameCount(); ++f)
+            rtgs.processFrame(ds.frame(f));
+        return std::make_pair(fragments, rtgs.pruner().stats());
+    };
+
+    auto [frag_base, stats_base] = run(false);
+    auto [frag_pruned, stats_pruned] = run(true);
+
+    EXPECT_EQ(stats_base.prunedTotal, 0u);
+    EXPECT_GT(stats_pruned.prunedTotal, 0u);
+    EXPECT_LT(frag_pruned, frag_base)
+        << "pruning must reduce rendered fragments";
+}
+
+TEST(RtgsSlamTest, PruningKeepsAccuracyBounded)
+{
+    auto &ds = tinyDataset();
+    auto gt = gtTrajectory();
+
+    auto run_ate = [&](bool prune, bool downsample) {
+        RtgsSlamConfig cfg = fastConfig();
+        cfg.enablePruning = prune;
+        cfg.enableDownsampling = downsample;
+        RtgsSlam rtgs(cfg, ds.intrinsics());
+        for (u32 f = 0; f < ds.frameCount(); ++f)
+            rtgs.processFrame(ds.frame(f));
+        return slam::computeAte(rtgs.system().trajectory(), gt).rmse;
+    };
+
+    double ate_base = run_ate(false, false);
+    double ate_rtgs = run_ate(true, true);
+    // Paper claim: <5% ATE degradation at the paper's scale; on our
+    // small noisy fixture allow a loose but meaningful bound.
+    EXPECT_LT(ate_rtgs, ate_base * 2.0 + 0.02)
+        << "RTGS must not destroy tracking accuracy";
+}
+
+TEST(RtgsSlamTest, DownsamplingFollowsSchedule)
+{
+    auto &ds = tinyDataset();
+    RtgsSlamConfig cfg = fastConfig();
+    cfg.enablePruning = false;
+    cfg.downsampler.minWidthPixels = 0; // expose the raw schedule
+    RtgsSlam rtgs(cfg, ds.intrinsics());
+    for (u32 f = 0; f < ds.frameCount(); ++f)
+        rtgs.processFrame(ds.frame(f));
+
+    for (const auto &r : rtgs.reports()) {
+        if (r.base.isKeyframe) {
+            EXPECT_EQ(r.trackingScale, 1.0f);
+        } else {
+            EXPECT_LE(r.trackingScale, 0.51f); // <= sqrt(1/4) + eps
+            EXPECT_GE(r.trackingScale, 0.24f); // >= sqrt(1/16)
+        }
+    }
+}
+
+TEST(RtgsSlamTest, KeyframePredictionMatchesIntervalPolicy)
+{
+    auto &ds = tinyDataset();
+    RtgsSlamConfig cfg = fastConfig(); // MonoGS: interval policy
+    RtgsSlam rtgs(cfg, ds.intrinsics());
+    for (u32 f = 0; f < ds.frameCount(); ++f) {
+        auto r = rtgs.processFrame(ds.frame(f));
+        EXPECT_EQ(r.base.isKeyframe, f % cfg.base.kfInterval == 0)
+            << "frame " << f;
+    }
+}
+
+TEST(RtgsSlamTest, TamingVariantPrunesButHurtsMore)
+{
+    auto &ds = tinyDataset();
+    auto gt = gtTrajectory();
+
+    auto run = [&](PruneMethod method) {
+        RtgsSlamConfig cfg = fastConfig();
+        cfg.enableDownsampling = false;
+        cfg.pruneMethod = method;
+        RtgsSlam rtgs(cfg, ds.intrinsics());
+        for (u32 f = 0; f < ds.frameCount(); ++f)
+            rtgs.processFrame(ds.frame(f));
+        return rtgs.system().cloud().size();
+    };
+
+    size_t n_rtgs = run(PruneMethod::Rtgs);
+    size_t n_taming = run(PruneMethod::Taming);
+    size_t n_none = run(PruneMethod::None);
+    EXPECT_LT(n_rtgs, n_none);
+    EXPECT_LT(n_taming, n_none);
+}
+
+TEST(RtgsSlamTest, WorksWithGsSlamProfile)
+{
+    auto &ds = tinyDataset();
+    RtgsSlamConfig cfg = fastConfig();
+    cfg.base = slam::SlamConfig::forAlgorithm(slam::BaseAlgorithm::GsSlam);
+    cfg.base.tracker.iterations = 8;
+    cfg.base.mapper.iterations = 10;
+    RtgsSlam rtgs(cfg, ds.intrinsics());
+    for (u32 f = 0; f < ds.frameCount(); ++f)
+        rtgs.processFrame(ds.frame(f));
+    auto ate = slam::computeAte(rtgs.system().trajectory(),
+                                gtTrajectory());
+    EXPECT_LT(ate.rmse, 0.3) << "plug-and-play on GS-SLAM profile";
+}
+
+TEST(RtgsSlamTest, MaskedGaussiansExcludedFromRender)
+{
+    auto &ds = tinyDataset();
+    RtgsSlamConfig cfg = fastConfig();
+    cfg.enableDownsampling = false;
+    RtgsSlam rtgs(cfg, ds.intrinsics());
+    u64 masked_seen = 0;
+    rtgs.setExternalTrackHook(
+        [&](const slam::TrackIterationContext &ctx) {
+            // Projected entries for masked Gaussians must be invalid.
+            const auto &cloud_ref = rtgs.system().cloud();
+            for (size_t k = 0;
+                 k < std::min(cloud_ref.size(),
+                              ctx.forward->projected.size()); ++k) {
+                if (!cloud_ref.active[k]) {
+                    ++masked_seen;
+                    EXPECT_FALSE(ctx.forward->projected[k].valid);
+                }
+            }
+        });
+    for (u32 f = 0; f < 6; ++f)
+        rtgs.processFrame(ds.frame(f));
+    // At least some iterations observed masked Gaussians.
+    EXPECT_GT(masked_seen, 0u);
+}
+
+} // namespace rtgs::core
