@@ -4,11 +4,25 @@
  * (projection, tile intersection, depth sort, forward rasterisation,
  * backward pass) across scene sizes — the per-kernel costs behind
  * every harness in this directory.
+ *
+ * After the registered benchmarks run, main() times the seed's serial
+ * AoS forward path (gs/reference.hh) against the parallel SoA pipeline
+ * head-to-head, checks the rendered images agree to 1e-6 per channel,
+ * and writes the result to BENCH_micro_rasterizer.json (override the
+ * path with RTGS_BENCH_JSON) so the perf trajectory is recorded in CI.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include "common/thread_pool.hh"
 #include "data/scene.hh"
+#include "gs/reference.hh"
 #include "gs/render_pipeline.hh"
 
 namespace
@@ -70,7 +84,7 @@ BM_TileIntersection(benchmark::State &state)
     gs::TileGrid grid(320, 240, f.settings.tileSize);
     for (auto _ : state) {
         auto bins = gs::intersectTiles(proj, grid);
-        benchmark::DoNotOptimize(bins.lists.data());
+        benchmark::DoNotOptimize(bins.indices.data());
     }
 }
 
@@ -84,7 +98,7 @@ BM_DepthSort(benchmark::State &state)
     for (auto _ : state) {
         auto copy = bins;
         gs::sortTilesByDepth(copy, proj);
-        benchmark::DoNotOptimize(copy.lists.data());
+        benchmark::DoNotOptimize(copy.indices.data());
     }
 }
 
@@ -95,6 +109,17 @@ BM_ForwardRaster(benchmark::State &state)
     gs::RenderPipeline pipe(f.settings);
     for (auto _ : state) {
         auto ctx = pipe.forward(f.cloud, f.camera);
+        benchmark::DoNotOptimize(ctx.result.image.data());
+    }
+}
+
+void
+BM_ForwardRasterSeed(benchmark::State &state)
+{
+    // The seed's serial AoS path, kept in gs/reference.hh.
+    Fixture &f = fixtureFor(spacingForRange(state.range(0)));
+    for (auto _ : state) {
+        auto ctx = gs::forwardReference(f.cloud, f.camera, f.settings);
         benchmark::DoNotOptimize(ctx.result.image.data());
     }
 }
@@ -118,8 +143,136 @@ BENCHMARK(BM_TileIntersection)->DenseRange(0, 2)
 BENCHMARK(BM_DepthSort)->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ForwardRaster)->DenseRange(0, 2)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ForwardRasterSeed)->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Backward)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------------
+// Seed-vs-RTGS head-to-head, written to BENCH_micro_rasterizer.json.
+// ------------------------------------------------------------------
+
+double
+maxChannelDiff(const ImageRGB &a, const ImageRGB &b)
+{
+    double m = 0;
+    for (size_t i = 0; i < a.pixelCount(); ++i) {
+        m = std::max(m, std::abs(double(a[i].x) - double(b[i].x)));
+        m = std::max(m, std::abs(double(a[i].y) - double(b[i].y)));
+        m = std::max(m, std::abs(double(a[i].z) - double(b[i].z)));
+    }
+    return m;
+}
+
+/**
+ * Min-of-reps wall and CPU time of fn, in milliseconds. The minimum is
+ * robust against preemption on loaded shared machines.
+ */
+template <typename Fn>
+void
+timeMs(Fn &&fn, int reps, double &wall_ms, double &cpu_ms)
+{
+    wall_ms = 1e300;
+    cpu_ms = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        auto w0 = std::chrono::steady_clock::now();
+        std::clock_t c0 = std::clock();
+        fn();
+        std::clock_t c1 = std::clock();
+        auto w1 = std::chrono::steady_clock::now();
+        wall_ms = std::min(
+            wall_ms, std::chrono::duration<double, std::milli>(w1 - w0)
+                         .count());
+        cpu_ms = std::min(cpu_ms, 1000.0 * double(c1 - c0) /
+                                      double(CLOCKS_PER_SEC));
+    }
+}
+
+int
+writeForwardComparison()
+{
+    const char *path = std::getenv("RTGS_BENCH_JSON");
+    if (!path)
+        path = "BENCH_micro_rasterizer.json";
+    int reps = 15;
+    if (const char *r = std::getenv("RTGS_BENCH_COMPARE_REPS"))
+        reps = std::max(1, std::atoi(r));
+
+    Fixture &f = fixtureFor(0.22);
+    gs::RenderPipeline pipe(f.settings);
+
+    // Correctness gate: the refactored pipeline must render the same
+    // image as the seed path (acceptance: <= 1e-6 per channel).
+    auto seed_ctx = gs::forwardReference(f.cloud, f.camera, f.settings);
+    auto rtgs_ctx = pipe.forward(f.cloud, f.camera);
+    double diff =
+        maxChannelDiff(seed_ctx.result.image, rtgs_ctx.result.image);
+
+    double seed_wall, seed_cpu, rtgs_wall, rtgs_cpu;
+    timeMs(
+        [&] {
+            auto ctx = gs::forwardReference(f.cloud, f.camera, f.settings);
+            benchmark::DoNotOptimize(ctx.result.image.data());
+        },
+        reps, seed_wall, seed_cpu);
+    timeMs(
+        [&] {
+            auto ctx = pipe.forward(f.cloud, f.camera);
+            benchmark::DoNotOptimize(ctx.result.image.data());
+        },
+        reps, rtgs_wall, rtgs_cpu);
+
+    double speedup = seed_wall / rtgs_wall;
+    double cpu_speedup = seed_cpu / rtgs_cpu;
+
+    std::FILE *out = std::fopen(path, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"bench\": \"micro_rasterizer_forward\",\n"
+        "  \"image\": \"320x240\",\n"
+        "  \"gaussians\": %zu,\n"
+        "  \"threads\": %zu,\n"
+        "  \"reps\": %d,\n"
+        "  \"seed_wall_ms\": %.4f,\n"
+        "  \"rtgs_wall_ms\": %.4f,\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"seed_cpu_ms\": %.4f,\n"
+        "  \"rtgs_cpu_ms\": %.4f,\n"
+        "  \"cpu_speedup\": %.3f,\n"
+        "  \"max_abs_channel_diff\": %.3g\n"
+        "}\n",
+        f.cloud.size(), globalPool().size() + 1, reps, seed_wall,
+        rtgs_wall, speedup, seed_cpu, rtgs_cpu, cpu_speedup, diff);
+    std::fclose(out);
+
+    std::printf("\n== forward pass: seed serial vs parallel SoA ==\n");
+    std::printf("seed  %.3f ms wall / %.3f ms cpu\n", seed_wall, seed_cpu);
+    std::printf("rtgs  %.3f ms wall / %.3f ms cpu\n", rtgs_wall, rtgs_cpu);
+    std::printf("speedup %.2fx wall, %.2fx cpu; max channel diff %.3g\n",
+                speedup, cpu_speedup, diff);
+    std::printf("wrote %s\n", path);
+
+    if (diff > 1e-6) {
+        std::fprintf(stderr,
+                     "FAIL: image mismatch above 1e-6 (%.3g)\n", diff);
+        return 1;
+    }
+    return 0;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return writeForwardComparison();
+}

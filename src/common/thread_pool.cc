@@ -2,9 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace rtgs
 {
+
+namespace
+{
+
+/** Pool whose workerLoop the current thread is running, if any. */
+thread_local ThreadPool *tl_current_pool = nullptr;
+
+} // namespace
 
 ThreadPool::ThreadPool(size_t num_threads)
 {
@@ -27,9 +36,16 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+bool
+ThreadPool::onWorkerThread() const
+{
+    return tl_current_pool == this;
+}
+
 void
 ThreadPool::workerLoop()
 {
+    tl_current_pool = this;
     for (;;) {
         std::function<void()> task;
         {
@@ -55,40 +71,79 @@ ThreadPool::enqueue(std::function<void()> task)
 }
 
 void
-ThreadPool::parallelFor(size_t begin, size_t end,
-                        const std::function<void(size_t)> &fn)
+ThreadPool::parallelForChunks(size_t begin, size_t end,
+                              const std::function<void(size_t, size_t)> &fn)
 {
     if (begin >= end)
         return;
 
     size_t total = end - begin;
-    size_t chunks = std::min(total, workers_.size() * 4);
-    if (chunks <= 1) {
-        for (size_t i = begin; i < end; ++i)
-            fn(i);
+    // A worker calling parallelFor must not block on chunks that only
+    // workers can drain (it *is* the drain); run the range inline.
+    if (total == 1 || workers_.empty() || onWorkerThread()) {
+        fn(begin, end);
         return;
     }
 
-    std::atomic<size_t> remaining{chunks};
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-
+    // Caller + workers all pull chunks from a shared counter; 4 chunks
+    // per thread keeps the tail balanced without much dispatch traffic.
+    size_t chunks = std::min(total, (workers_.size() + 1) * 4);
     size_t chunk_size = (total + chunks - 1) / chunks;
-    for (size_t c = 0; c < chunks; ++c) {
-        size_t lo = begin + c * chunk_size;
-        size_t hi = std::min(end, lo + chunk_size);
-        enqueue([lo, hi, &fn, &remaining, &done_mutex, &done_cv] {
-            for (size_t i = lo; i < hi; ++i)
-                fn(i);
-            if (remaining.fetch_sub(1) == 1) {
-                std::lock_guard<std::mutex> lock(done_mutex);
-                done_cv.notify_one();
-            }
-        });
-    }
 
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&remaining] { return remaining.load() == 0; });
+    struct State
+    {
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> done{0};
+        std::mutex mutex;
+        std::condition_variable cv;
+        size_t begin = 0, end = 0, chunks = 0, chunk_size = 0;
+        const std::function<void(size_t, size_t)> *fn = nullptr;
+    };
+    // Shared ownership: helper tasks may be popped from the queue after
+    // the caller has already returned (all chunks claimed); they must
+    // still be able to read `next` safely.
+    auto state = std::make_shared<State>();
+    state->begin = begin;
+    state->end = end;
+    state->chunks = chunks;
+    state->chunk_size = chunk_size;
+    state->fn = &fn;
+
+    auto drain = [](State &s) {
+        for (;;) {
+            size_t c = s.next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= s.chunks)
+                return;
+            size_t lo = s.begin + c * s.chunk_size;
+            size_t hi = std::min(s.end, lo + s.chunk_size);
+            (*s.fn)(lo, hi);
+            if (s.done.fetch_add(1) + 1 == s.chunks) {
+                std::lock_guard<std::mutex> lock(s.mutex);
+                s.cv.notify_all();
+            }
+        }
+    };
+
+    size_t helpers = std::min(workers_.size(), chunks - 1);
+    for (size_t h = 0; h < helpers; ++h)
+        enqueue([state, drain] { drain(*state); });
+
+    drain(*state);
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] {
+        return state->done.load() == state->chunks;
+    });
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)> &fn)
+{
+    parallelForChunks(begin, end, [&fn](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            fn(i);
+    });
 }
 
 ThreadPool &

@@ -2,9 +2,15 @@
  * @file
  * A small fixed-size thread pool with a blocking parallel-for.
  *
- * The rasterizer parallelises over image tiles; the pool provides the
+ * The rendering pipeline parallelises over Gaussians (projection,
+ * binning) and over image tiles (rasterisation); the pool provides the
  * worker threads. A process-wide pool (globalPool()) is shared by all
  * render pipelines so thread creation cost is paid once.
+ *
+ * parallelFor is safe to call from inside a worker thread: nested calls
+ * are detected and run inline instead of enqueuing chunks that only the
+ * (blocked) workers could drain. The calling thread also participates in
+ * chunk execution, so a parallelFor never idles the caller.
  */
 
 #ifndef RTGS_COMMON_THREAD_POOL_HH
@@ -23,7 +29,7 @@ namespace rtgs
 
 /**
  * Fixed-size worker pool. Tasks are std::function<void()>; parallelFor
- * blocks the caller until all chunks complete.
+ * blocks the caller until all chunks complete (helping to run them).
  */
 class ThreadPool
 {
@@ -42,12 +48,24 @@ class ThreadPool
     /** Number of worker threads. */
     size_t size() const { return workers_.size(); }
 
+    /** True when the calling thread is one of this pool's workers. */
+    bool onWorkerThread() const;
+
     /**
      * Run fn(i) for every i in [begin, end), split into contiguous chunks
-     * across the workers; blocks until all iterations finish.
+     * across the workers and the calling thread; blocks until all
+     * iterations finish. Nested calls from worker threads run inline.
      */
     void parallelFor(size_t begin, size_t end,
                      const std::function<void(size_t)> &fn);
+
+    /**
+     * Chunked variant: fn(lo, hi) is invoked once per contiguous chunk,
+     * letting hot loops avoid a std::function call per index. Same
+     * blocking / nesting semantics as parallelFor.
+     */
+    void parallelForChunks(size_t begin, size_t end,
+                           const std::function<void(size_t, size_t)> &fn);
 
   private:
     void workerLoop();

@@ -25,7 +25,7 @@ symGradToFull(const Sym2f &g)
 /** One blended fragment recorded during the forward re-walk. */
 struct FragRecord
 {
-    u32 idx;      //!< Gaussian index
+    u32 slot;     //!< position within the tile's hot-splat stream
     Real alpha;
     Real gval;    //!< exp(power), the unclamped Gaussian falloff
     Vec2f d;      //!< pixel - mean2d
@@ -87,7 +87,13 @@ backwardTile(u32 tile, const ProjectedCloud &projected,
 {
     u32 x0, y0, x1, y1;
     grid.tileBounds(tile, x0, y0, x1, y1);
-    const auto &list = bins.lists[tile];
+    if (bins.count(tile) == 0)
+        return; // no fragments, nothing to accumulate
+
+    // Same contiguous hot-splat stream the forward rasteriser walks.
+    const std::vector<HotSplat> &splats =
+        gatherTileSplats(projected.soa, bins, tile);
+    const u32 *tile_ids = bins.tileData(tile);
 
     std::vector<FragRecord> frags;
     frags.reserve(64);
@@ -104,11 +110,15 @@ backwardTile(u32 tile, const ProjectedCloud &projected,
             // Re-walk the forward pass, recording blended fragments.
             frags.clear();
             Real T = 1;
-            for (u32 idx : list) {
-                const Projected2D &g = projected[idx];
-                Vec2f d = pixel - g.mean2d;
-                Real power = Real(-0.5) * g.conic.quadForm(d);
+            for (u32 s = 0; s < static_cast<u32>(splats.size()); ++s) {
+                const HotSplat &g = splats[s];
+                Vec2f d{pixel.x - g.mx, pixel.y - g.my};
+                Sym2f conic{g.cxx, g.cxy, g.cyy};
+                Real power = Real(-0.5) * conic.quadForm(d);
                 if (power > 0)
+                    continue;
+                // Below alphaMin for certain: never blended forward.
+                if (power < g.powerSkip)
                     continue;
                 Real gval = std::exp(power);
                 Real raw_alpha = g.opacity * gval;
@@ -116,7 +126,7 @@ backwardTile(u32 tile, const ProjectedCloud &projected,
                 Real alpha = clamped ? settings.alphaMax : raw_alpha;
                 if (alpha < settings.alphaMin)
                     continue;
-                frags.push_back({idx, alpha, gval, d, T, clamped});
+                frags.push_back({s, alpha, gval, d, T, clamped});
                 T *= 1 - alpha;
                 if (T < settings.transmittanceEps)
                     break;
@@ -136,24 +146,26 @@ backwardTile(u32 tile, const ProjectedCloud &projected,
 
             for (size_t j = frags.size(); j-- > 0;) {
                 const FragRecord &f = frags[j];
-                const Projected2D &g = projected[f.idx];
+                const HotSplat &g = splats[f.slot];
+                const u32 gid = tile_ids[f.slot];
+                const Vec3f g_color{g.r, g.g, g.b};
                 Real t_before = f.tBefore;
 
                 // Colour gradient: dC/dc_j = alpha_j * T_j.
-                acc.dColor[f.idx] += dl_dc * (f.alpha * t_before);
-                acc.dDepth[f.idx] += dl_dd * (f.alpha * t_before);
+                acc.dColor[gid] += dl_dc * (f.alpha * t_before);
+                acc.dDepth[gid] += dl_dd * (f.alpha * t_before);
 
                 // Alpha gradient (Eq. 4 plus the background term).
                 accum_color = last_color * last_alpha +
                               accum_color * (1 - last_alpha);
                 accum_depth = last_depth * last_alpha +
                               accum_depth * (1 - last_alpha);
-                last_color = g.color;
+                last_color = g_color;
                 last_depth = g.depth;
                 last_alpha = f.alpha;
 
                 Real dl_dalpha =
-                    (g.color - accum_color).dot(dl_dc) * t_before +
+                    (g_color - accum_color).dot(dl_dc) * t_before +
                     (g.depth - accum_depth) * dl_dd * t_before;
                 dl_dalpha += (-t_final / (1 - f.alpha)) * bg_dot;
 
@@ -161,14 +173,14 @@ backwardTile(u32 tile, const ProjectedCloud &projected,
                     continue; // saturation: zero gradient through alpha
 
                 // alpha = opacity * G, G = exp(power).
-                acc.dOpacityAct[f.idx] += f.gval * dl_dalpha;
+                acc.dOpacityAct[gid] += f.gval * dl_dalpha;
                 Real dl_dpower = f.alpha * dl_dalpha;
 
                 // power = -0.5 d^T conic d, d = pixel - mean2d.
-                Mat2f conic_full = g.conic.toMat();
+                Mat2f conic_full{g.cxx, g.cxy, g.cxy, g.cyy};
                 Vec2f cd = conic_full * f.d;
-                acc.dMean2d[f.idx] += cd * dl_dpower;
-                acc.dConic[f.idx] = acc.dConic[f.idx] +
+                acc.dMean2d[gid] += cd * dl_dpower;
+                acc.dConic[gid] = acc.dConic[gid] +
                     Sym2f{Real(-0.5) * f.d.x * f.d.x * dl_dpower,
                           -f.d.x * f.d.y * dl_dpower,
                           Real(-0.5) * f.d.y * f.d.y * dl_dpower};

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "common/thread_pool.hh"
 
 namespace rtgs::gs
 {
@@ -14,6 +17,43 @@ ProjectedCloud::validCount() const
         n += p.valid ? 1 : 0;
     return n;
 }
+
+void
+ProjectedSoA::resize(size_t n)
+{
+    meanX.resize(n);
+    meanY.resize(n);
+    conicXX.resize(n);
+    conicXY.resize(n);
+    conicYY.resize(n);
+    opacity.resize(n);
+    colorR.resize(n);
+    colorG.resize(n);
+    colorB.resize(n);
+    depth.resize(n);
+    powerSkip.resize(n);
+}
+
+namespace
+{
+
+/**
+ * Exact exp-skip bound for one Gaussian: alpha = opacity * exp(power)
+ * drops below alphaMin exactly when power < ln(alphaMin / opacity). The
+ * 1e-3 margin is orders of magnitude above float rounding on either
+ * side of the comparison, so fragments the reference path would blend
+ * are never skipped; fragments near the boundary still take the exact
+ * exp + compare path.
+ */
+Real
+expSkipBound(Real opacity, Real alpha_min)
+{
+    if (!(opacity > Real(0)) || !(alpha_min > Real(0)))
+        return -std::numeric_limits<Real>::infinity();
+    return std::log(alpha_min / opacity) - Real(1e-3);
+}
+
+} // namespace
 
 Vec3f
 clampedCamPoint(const Intrinsics &intr, const Vec3f &t, bool &clamped_x,
@@ -37,74 +77,99 @@ projectGaussians(const GaussianCloud &cloud, const Camera &camera,
 {
     ProjectedCloud out;
     out.items.resize(cloud.size());
+    out.soa.resize(cloud.size());
 
     const Mat3f &W = camera.pose.rot;
     const Intrinsics &intr = camera.intr;
+    const Real inf = std::numeric_limits<Real>::infinity();
 
-    for (size_t k = 0; k < cloud.size(); ++k) {
-        Projected2D &p = out.items[k];
-        if (!cloud.active[k])
-            continue;
+    // Each Gaussian writes only its own AoS record and SoA slots, so the
+    // loop is embarrassingly parallel and deterministic.
+    globalPool().parallelForChunks(
+        0, cloud.size(), [&](size_t lo, size_t hi) {
+        for (size_t k = lo; k < hi; ++k) {
+            Projected2D &p = out.items[k];
+            out.soa.powerSkip[k] = inf; // culled entries skip everything
+            if (!cloud.active[k])
+                continue;
 
-        Vec3f t = camera.pose.apply(cloud.positions[k]);
-        if (t.z < settings.nearClip || t.z > settings.farClip)
-            continue;
+            Vec3f t = camera.pose.apply(cloud.positions[k]);
+            if (t.z < settings.nearClip || t.z > settings.farClip)
+                continue;
 
-        // 2D mean via exact pinhole projection.
-        Vec2f mean2d = intr.project(t);
+            // 2D mean via exact pinhole projection.
+            Vec2f mean2d = intr.project(t);
 
-        // 3D covariance from scale and rotation: Sigma = M M^T, M = R S.
-        Mat3f R = cloud.rotations[k].toMat();
-        Vec3f scale{std::exp(cloud.logScales[k].x),
-                    std::exp(cloud.logScales[k].y),
-                    std::exp(cloud.logScales[k].z)};
-        Mat3f M = R * Mat3f::diagonal(scale);
-        Mat3f sigma3d = M * M.transpose();
+            // 3D covariance from scale and rotation: Sigma = M M^T,
+            // M = R S.
+            Mat3f R = cloud.rotations[k].toMat();
+            Vec3f scale{std::exp(cloud.logScales[k].x),
+                        std::exp(cloud.logScales[k].y),
+                        std::exp(cloud.logScales[k].z)};
+            Mat3f M = R * Mat3f::diagonal(scale);
+            Mat3f sigma3d = M * M.transpose();
 
-        // EWA: cov2d = J W Sigma W^T J^T with J the projection Jacobian
-        // evaluated at the frustum-clamped point (see clampedCamPoint).
-        bool cx, cy;
-        Vec3f tc = clampedCamPoint(intr, t, cx, cy);
-        Mat2x3f J = intr.projectJacobian(tc);
-        Mat2x3f T = J * W;
-        Mat2x3f TS = T * sigma3d;
-        Sym2f cov2d = Sym2f::fromMat(TS.multTranspose(T));
+            // EWA: cov2d = J W Sigma W^T J^T with J the projection
+            // Jacobian evaluated at the frustum-clamped point (see
+            // clampedCamPoint).
+            bool cx, cy;
+            Vec3f tc = clampedCamPoint(intr, t, cx, cy);
+            Mat2x3f J = intr.projectJacobian(tc);
+            Mat2x3f T = J * W;
+            Mat2x3f TS = T * sigma3d;
+            Sym2f cov2d = Sym2f::fromMat(TS.multTranspose(T));
 
-        Sym2f cov_blur = cov2d;
-        cov_blur.xx += settings.covBlur;
-        cov_blur.yy += settings.covBlur;
-        Real det = cov_blur.det();
-        if (det <= Real(0))
-            continue;
+            Sym2f cov_blur = cov2d;
+            cov_blur.xx += settings.covBlur;
+            cov_blur.yy += settings.covBlur;
+            Real det = cov_blur.det();
+            if (det <= Real(0))
+                continue;
 
-        Real radius = settings.radiusSigma * std::sqrt(cov_blur.maxEigen());
-        if (radius < Real(0.5))
-            continue;
+            Real radius =
+                settings.radiusSigma * std::sqrt(cov_blur.maxEigen());
+            if (radius < Real(0.5))
+                continue;
 
-        // Cull splats entirely outside the image (with footprint margin).
-        if (mean2d.x + radius < 0 ||
-            mean2d.x - radius > static_cast<Real>(intr.width) ||
-            mean2d.y + radius < 0 ||
-            mean2d.y - radius > static_cast<Real>(intr.height)) {
-            continue;
+            // Cull splats entirely outside the image (with footprint
+            // margin).
+            if (mean2d.x + radius < 0 ||
+                mean2d.x - radius > static_cast<Real>(intr.width) ||
+                mean2d.y + radius < 0 ||
+                mean2d.y - radius > static_cast<Real>(intr.height)) {
+                continue;
+            }
+
+            p.mean2d = mean2d;
+            p.depth = t.z;
+            p.cov2d = cov2d;
+            p.conic = cov_blur.inverse();
+            p.opacity = cloud.opacity(k);
+
+            Vec3f raw = cloud.shCoeffs[k] * shC0 + Vec3f{0.5f, 0.5f, 0.5f};
+            p.color = {std::max(Real(0), raw.x), std::max(Real(0), raw.y),
+                       std::max(Real(0), raw.z)};
+            p.colorClampMask = {raw.x > 0 ? Real(1) : Real(0),
+                                raw.y > 0 ? Real(1) : Real(0),
+                                raw.z > 0 ? Real(1) : Real(0)};
+            p.radius = radius;
+            p.camPoint = t;
+            p.valid = true;
+
+            out.soa.meanX[k] = p.mean2d.x;
+            out.soa.meanY[k] = p.mean2d.y;
+            out.soa.conicXX[k] = p.conic.xx;
+            out.soa.conicXY[k] = p.conic.xy;
+            out.soa.conicYY[k] = p.conic.yy;
+            out.soa.opacity[k] = p.opacity;
+            out.soa.colorR[k] = p.color.x;
+            out.soa.colorG[k] = p.color.y;
+            out.soa.colorB[k] = p.color.z;
+            out.soa.depth[k] = p.depth;
+            out.soa.powerSkip[k] =
+                expSkipBound(p.opacity, settings.alphaMin);
         }
-
-        p.mean2d = mean2d;
-        p.depth = t.z;
-        p.cov2d = cov2d;
-        p.conic = cov_blur.inverse();
-        p.opacity = cloud.opacity(k);
-
-        Vec3f raw = cloud.shCoeffs[k] * shC0 + Vec3f{0.5f, 0.5f, 0.5f};
-        p.color = {std::max(Real(0), raw.x), std::max(Real(0), raw.y),
-                   std::max(Real(0), raw.z)};
-        p.colorClampMask = {raw.x > 0 ? Real(1) : Real(0),
-                            raw.y > 0 ? Real(1) : Real(0),
-                            raw.z > 0 ? Real(1) : Real(0)};
-        p.radius = radius;
-        p.camPoint = t;
-        p.valid = true;
-    }
+    });
     return out;
 }
 

@@ -53,10 +53,39 @@ struct Projected2D
     Vec3f colorClampMask{1, 1, 1};
 };
 
+/**
+ * Structure-of-arrays view of the hot per-Gaussian fields the per-pixel
+ * inner loops read (Steps 3-4). The full Projected2D records keep every
+ * cold field (cov2d, camPoint, clamp masks) for the preprocessing
+ * backward pass; rasterizeTile / backwardTile only ever touch these
+ * arrays, so fragments stream through contiguous memory instead of
+ * striding across ~100-byte AoS records.
+ */
+struct ProjectedSoA
+{
+    std::vector<Real> meanX, meanY;                //!< pixel-space centre
+    std::vector<Real> conicXX, conicXY, conicYY;   //!< inverse covariance
+    std::vector<Real> opacity;                     //!< activated opacity
+    std::vector<Real> colorR, colorG, colorB;      //!< activated RGB
+    std::vector<Real> depth;                       //!< camera-space z
+    /**
+     * Exact alpha-threshold skip bound: any fragment whose exponent
+     * power satisfies power < powerSkip is guaranteed (with a safety
+     * margin well above float rounding) to land below alphaMin, so the
+     * rasterizer can skip the std::exp without changing the output.
+     */
+    std::vector<Real> powerSkip;
+
+    void resize(size_t n);
+    size_t size() const { return depth.size(); }
+};
+
 /** Result of projecting an entire cloud. */
 struct ProjectedCloud
 {
     std::vector<Projected2D> items;
+    /** Hot-field SoA mirror of items, filled during projection. */
+    ProjectedSoA soa;
 
     size_t size() const { return items.size(); }
     const Projected2D &operator[](size_t i) const { return items[i]; }
@@ -67,9 +96,10 @@ struct ProjectedCloud
 };
 
 /**
- * Project all active Gaussians through the camera. Masked or culled
- * Gaussians produce entries with valid = false so indices stay aligned
- * with the cloud.
+ * Project all active Gaussians through the camera, in parallel over
+ * Gaussians (each writes only its own record, so the result is
+ * deterministic). Masked or culled Gaussians produce entries with
+ * valid = false so indices stay aligned with the cloud.
  */
 ProjectedCloud projectGaussians(const GaussianCloud &cloud,
                                 const Camera &camera,

@@ -1,6 +1,8 @@
 #include "gs/rasterizer.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace rtgs::gs
 {
@@ -36,6 +38,30 @@ makeRenderResult(const TileGrid &grid)
     return r;
 }
 
+const std::vector<HotSplat> &
+gatherTileSplats(const ProjectedSoA &soa, const TileBins &bins, u32 tile)
+{
+    static thread_local std::vector<HotSplat> scratch;
+    u32 lo = bins.offsets[tile], hi = bins.offsets[tile + 1];
+    scratch.resize(hi - lo);
+    for (u32 i = lo; i < hi; ++i) {
+        u32 k = bins.indices[i];
+        HotSplat &h = scratch[i - lo];
+        h.mx = soa.meanX[k];
+        h.my = soa.meanY[k];
+        h.cxx = soa.conicXX[k];
+        h.cxy = soa.conicXY[k];
+        h.cyy = soa.conicYY[k];
+        h.powerSkip = soa.powerSkip[k];
+        h.opacity = soa.opacity[k];
+        h.r = soa.colorR[k];
+        h.g = soa.colorG[k];
+        h.b = soa.colorB[k];
+        h.depth = soa.depth[k];
+    }
+    return scratch;
+}
+
 void
 rasterizeTile(u32 tile, const ProjectedCloud &projected,
               const TileBins &bins, const TileGrid &grid,
@@ -43,49 +69,153 @@ rasterizeTile(u32 tile, const ProjectedCloud &projected,
 {
     u32 x0, y0, x1, y1;
     grid.tileBounds(tile, x0, y0, x1, y1);
-    const auto &list = bins.lists[tile];
 
-    for (u32 py = y0; py < y1; ++py) {
-        for (u32 px = x0; px < x1; ++px) {
-            // Pixel centre convention matches the reference rasteriser.
-            Vec2f pixel{static_cast<Real>(px) + Real(0.5),
-                        static_cast<Real>(py) + Real(0.5)};
-            Real T = 1;
-            Vec3f color{};
-            Real depth_acc = 0;
-            u32 iterated = 0;
-            u32 blended = 0;
+    // Empty bin: the tile is pure background; skip the per-pixel loop.
+    if (bins.count(tile) == 0) {
+        for (u32 py = y0; py < y1; ++py) {
+            for (u32 px = x0; px < x1; ++px) {
+                result.image.at(px, py) = settings.background;
+                result.depth.at(px, py) = 0;
+                result.alpha.at(px, py) = 0;
+                result.finalT.at(px, py) = 1;
+                result.nContrib.at(px, py) = 0;
+                result.nBlended.at(px, py) = 0;
+            }
+        }
+        return;
+    }
 
-            for (u32 idx : list) {
-                const Projected2D &g = projected[idx];
-                ++iterated;
+    const std::vector<HotSplat> &splats =
+        gatherTileSplats(projected.soa, bins, tile);
+    const u32 n_splats = static_cast<u32>(splats.size());
+    const Real alpha_min = settings.alphaMin;
+    const Real alpha_max = settings.alphaMax;
+    const Real t_eps = settings.transmittanceEps;
 
-                Vec2f d = pixel - g.mean2d;
-                Real power = Real(-0.5) * g.conic.quadForm(d);
+    // Splat-major traversal with per-pixel compositing state. Walking
+    // the depth-ordered stream once and touching only the pixels inside
+    // each splat's sub-alphaMin cutoff ellipse skips the fragments the
+    // pixel-major loop rejects one by one; blend order per pixel (and
+    // hence the image) is unchanged. ~8 KB of state for a 16x16 tile,
+    // comfortably L1-resident.
+    const u32 tw = x1 - x0, th = y1 - y0;
+    const u32 n_px = tw * th;
+    constexpr u32 kNotTerminated = 0xFFFFFFFFu;
+    struct PixState
+    {
+        Real T, r, g, b, d;
+        u32 blended, term;
+        u32 pad_; // 32-byte stride: two states per cache line
+    };
+    static thread_local std::vector<PixState> state;
+    state.assign(n_px,
+                 PixState{Real(1), 0, 0, 0, 0, 0, kNotTerminated, 0});
+    u32 alive = n_px;
+
+    // Per-row exponent buffer. Powers are independent across pixels, so
+    // this loop vectorises; each lane runs the exact scalar op sequence
+    // (convert, +0.5, subtract, quadForm, *-0.5 — no FMA on baseline
+    // x86-64), so the values are bit-identical to the reference's.
+    static thread_local std::vector<Real> power_buf;
+    power_buf.resize(tw);
+    Real *power_row = power_buf.data();
+
+    for (u32 s = 0; s < n_splats && alive > 0; ++s) {
+        const HotSplat &g = splats[s];
+
+        // Pixels that can blend satisfy power >= powerSkip, i.e. lie in
+        // the ellipse d^T conic d <= q. Its axis-aligned bounding box
+        // (padded a pixel against rounding; powerSkip itself already
+        // carries the exactness margin) is all we rasterise.
+        Real q = Real(-2) * g.powerSkip;
+        if (!(q > 0))
+            continue; // whole splat below alphaMin everywhere
+        // A degenerate conic (det <= 0) yields NaN/inf extents and
+        // falls through to the full-tile path, matching the reference
+        // rasteriser's behaviour for such splats.
+        Real det = g.cxx * g.cyy - g.cxy * g.cxy;
+        Real ex = std::sqrt(q * g.cyy / det);
+        Real ey = std::sqrt(q * g.cxx / det);
+        u32 sx0 = x0, sx1 = x1, sy0 = y0, sy1 = y1;
+        // The extent bound keeps the float->i64 casts defined for
+        // extreme (but finite) splat scales; oversized extents just
+        // take the full-tile path.
+        if (ex < Real(1e9) && ey < Real(1e9)) {
+            i64 bx0 = static_cast<i64>(std::floor(g.mx - ex - Real(1.5)));
+            i64 bx1 = static_cast<i64>(std::ceil(g.mx + ex + Real(0.5)));
+            i64 by0 = static_cast<i64>(std::floor(g.my - ey - Real(1.5)));
+            i64 by1 = static_cast<i64>(std::ceil(g.my + ey + Real(0.5)));
+            sx0 = static_cast<u32>(std::clamp<i64>(bx0, x0, x1));
+            sx1 = static_cast<u32>(std::clamp<i64>(bx1 + 1, x0, x1));
+            sy0 = static_cast<u32>(std::clamp<i64>(by0, y0, y1));
+            sy1 = static_cast<u32>(std::clamp<i64>(by1 + 1, y0, y1));
+        }
+
+        const Real cxx = g.cxx, cxy = g.cxy, cyy = g.cyy;
+        const Real skip = g.powerSkip;
+        for (u32 py = sy0; py < sy1; ++py) {
+            const Real dy =
+                (static_cast<Real>(py) + Real(0.5)) - g.my;
+            const u32 w_row = sx1 - sx0;
+            for (u32 i = 0; i < w_row; ++i) {
+                Real dx = (static_cast<Real>(sx0 + i) + Real(0.5)) -
+                          g.mx;
+                power_row[i] =
+                    Real(-0.5) * (cxx * dx * dx +
+                                  Real(2) * cxy * dx * dy +
+                                  cyy * dy * dy);
+            }
+
+            PixState *row_state =
+                state.data() + (py - y0) * tw + (sx0 - x0);
+            for (u32 i = 0; i < w_row; ++i) {
+                Real power = power_row[i];
                 if (power > 0)
                     continue;
-                Real alpha = std::min(settings.alphaMax,
+                if (power < skip)
+                    continue;
+                PixState &st = row_state[i];
+                Real T = st.T;
+                if (T < t_eps)
+                    continue; // terminated earlier in the stream
+                Real alpha = std::min(alpha_max,
                                       g.opacity * std::exp(power));
-                if (alpha < settings.alphaMin)
+                if (alpha < alpha_min)
                     continue;
 
                 Real t_next = T * (1 - alpha);
-                // Early termination preserves compositing order (Sec 2.1).
-                color += g.color * (alpha * T);
-                depth_acc += g.depth * (alpha * T);
-                ++blended;
-                T = t_next;
-                if (T < settings.transmittanceEps)
-                    break;
+                // Early termination preserves compositing order
+                // (Sec 2.1).
+                Real w = alpha * T;
+                st.r += g.r * w;
+                st.g += g.g * w;
+                st.b += g.b * w;
+                st.d += g.depth * w;
+                ++st.blended;
+                st.T = t_next;
+                if (t_next < t_eps) {
+                    st.term = s;
+                    --alive;
+                }
             }
+        }
+    }
 
-            color += settings.background * T;
+    for (u32 py = y0; py < y1; ++py) {
+        for (u32 px = x0; px < x1; ++px) {
+            const PixState &st = state[(py - y0) * tw + (px - x0)];
+            Vec3f color{st.r, st.g, st.b};
+            color += settings.background * st.T;
             result.image.at(px, py) = color;
-            result.depth.at(px, py) = depth_acc;
-            result.alpha.at(px, py) = 1 - T;
-            result.finalT.at(px, py) = T;
-            result.nContrib.at(px, py) = iterated;
-            result.nBlended.at(px, py) = blended;
+            result.depth.at(px, py) = st.d;
+            result.alpha.at(px, py) = 1 - st.T;
+            result.finalT.at(px, py) = st.T;
+            // A pixel that terminated at stream position s examined
+            // s + 1 fragments; everyone else walked the whole bin.
+            result.nContrib.at(px, py) = st.term != kNotTerminated
+                                             ? st.term + 1
+                                             : n_splats;
+            result.nBlended.at(px, py) = st.blended;
         }
     }
 }

@@ -36,6 +36,31 @@ struct RenderResult
 };
 
 /**
+ * One tile-local splat record: the 11 hot scalars a fragment reads,
+ * packed so the per-pixel loops walk a single contiguous 44-byte-stride
+ * stream instead of gathering through the index buffer on every
+ * fragment. The fields the reject paths need come first.
+ */
+struct HotSplat
+{
+    Real mx, my;            //!< 2D mean
+    Real cxx, cxy, cyy;     //!< conic
+    Real powerSkip;         //!< exact sub-alphaMin exp-skip bound
+    Real opacity;
+    Real r, g, b;           //!< colour
+    Real depth;
+};
+
+/**
+ * Gather one tile's (depth-ordered) bin range from the projected SoA
+ * into a thread-local scratch buffer; valid until the next call on the
+ * same thread. Shared by the forward and backward tile kernels.
+ */
+const std::vector<HotSplat> &gatherTileSplats(const ProjectedSoA &soa,
+                                              const TileBins &bins,
+                                              u32 tile);
+
+/**
  * Rasterise one tile into the result images. Exposed separately so the
  * render pipeline can parallelise over tiles.
  */

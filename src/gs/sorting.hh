@@ -2,6 +2,14 @@
  * @file
  * Step 2 (Sorting): order each tile's Gaussians front-to-back by
  * camera-space depth so alpha blending composites correctly.
+ *
+ * One LSD radix sort over the packed (tileId << 32) | depthBits keys
+ * orders the whole flat intersection buffer at once: tile grouping is
+ * preserved (tile id occupies the high bits) and every tile range comes
+ * out depth-sorted — no per-tile comparison sort, no indirect depth
+ * loads in the compare path. Passes run in parallel chunks with stable
+ * scatter, so ties keep their ascending-Gaussian-id order exactly like
+ * the old per-tile std::stable_sort.
  */
 
 #ifndef RTGS_GS_SORTING_HH
@@ -12,12 +20,20 @@
 namespace rtgs::gs
 {
 
-/** Sort every tile list in place by ascending depth (stable). */
+/** Sort every tile range in place by ascending depth (stable). */
 void sortTilesByDepth(TileBins &bins, const ProjectedCloud &projected);
 
-/** True if every tile list is in non-decreasing depth order. */
+/** True if every tile range is in non-decreasing depth order. */
 bool tilesAreDepthSorted(const TileBins &bins,
                          const ProjectedCloud &projected);
+
+/**
+ * Stable LSD radix sort of (key, value) pairs by key, in parallel
+ * 8-bit-digit passes. Only digits below bits_used are processed, and
+ * passes whose digit is constant across all keys are skipped.
+ */
+void radixSortPairs(std::vector<u64> &keys, std::vector<u32> &values,
+                    u32 bits_used);
 
 } // namespace rtgs::gs
 

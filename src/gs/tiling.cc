@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace rtgs::gs
 {
@@ -27,47 +28,120 @@ TileGrid::tileBounds(u32 tile, u32 &x0, u32 &y0, u32 &x1, u32 &y1) const
     y1 = std::min(height, y0 + tileSize);
 }
 
-u64
-TileBins::totalIntersections() const
+namespace
 {
-    u64 n = 0;
-    for (const auto &l : lists)
-        n += l.size();
-    return n;
+
+/** Inclusive tile-coordinate rectangle of one Gaussian's footprint. */
+struct FootprintRect
+{
+    u32 tx0 = 0, tx1 = 0, ty0 = 0, ty1 = 0;
+    u8 valid = 0;
+};
+
+FootprintRect
+footprintRect(const Projected2D &p, const TileGrid &grid)
+{
+    FootprintRect r;
+    if (!p.valid)
+        return r;
+    auto clamp_tile = [](long v, long hi) {
+        return static_cast<u32>(std::clamp<long>(v, 0, hi));
+    };
+    long ts = static_cast<long>(grid.tileSize);
+    r.tx0 = clamp_tile(static_cast<long>(
+                std::floor((p.mean2d.x - p.radius) / ts)),
+            grid.tilesX - 1);
+    r.tx1 = clamp_tile(static_cast<long>(
+                std::floor((p.mean2d.x + p.radius) / ts)),
+            grid.tilesX - 1);
+    r.ty0 = clamp_tile(static_cast<long>(
+                std::floor((p.mean2d.y - p.radius) / ts)),
+            grid.tilesY - 1);
+    r.ty1 = clamp_tile(static_cast<long>(
+                std::floor((p.mean2d.y + p.radius) / ts)),
+            grid.tilesY - 1);
+    r.valid = 1;
+    return r;
 }
+
+} // namespace
 
 TileBins
 intersectTiles(const ProjectedCloud &projected, const TileGrid &grid)
 {
     TileBins bins;
-    bins.lists.resize(grid.tileCount());
+    bins.tiles = grid.tileCount();
+    bins.offsets.assign(static_cast<size_t>(bins.tiles) + 1, 0);
 
-    auto clamp_tile = [](long v, long hi) {
-        return static_cast<u32>(std::clamp<long>(v, 0, hi));
-    };
+    const size_t n = projected.size();
+    if (n == 0 || bins.tiles == 0)
+        return bins;
 
-    for (size_t k = 0; k < projected.size(); ++k) {
-        const Projected2D &p = projected[k];
-        if (!p.valid)
-            continue;
-        long ts = static_cast<long>(grid.tileSize);
-        long tx0 = static_cast<long>(
-            std::floor((p.mean2d.x - p.radius) / ts));
-        long tx1 = static_cast<long>(
-            std::floor((p.mean2d.x + p.radius) / ts));
-        long ty0 = static_cast<long>(
-            std::floor((p.mean2d.y - p.radius) / ts));
-        long ty1 = static_cast<long>(
-            std::floor((p.mean2d.y + p.radius) / ts));
-        tx0 = clamp_tile(tx0, grid.tilesX - 1);
-        tx1 = clamp_tile(tx1, grid.tilesX - 1);
-        ty0 = clamp_tile(ty0, grid.tilesY - 1);
-        ty1 = clamp_tile(ty1, grid.tilesY - 1);
-        for (long ty = ty0; ty <= ty1; ++ty)
-            for (long tx = tx0; tx <= tx1; ++tx)
-                bins.lists[static_cast<size_t>(ty) * grid.tilesX + tx]
-                    .push_back(static_cast<u32>(k));
+    ThreadPool &pool = globalPool();
+    // Fixed chunk boundaries (independent of pool scheduling) make the
+    // scatter stable: chunk c's slice of each tile's range starts right
+    // after the slices of chunks 0..c-1, so ids land in ascending
+    // Gaussian order no matter which thread runs which chunk.
+    const size_t nchunks =
+        std::min<size_t>(n, (pool.size() + 1) * 4);
+    const size_t chunk = (n + nchunks - 1) / nchunks;
+
+    std::vector<FootprintRect> rects(n);
+    std::vector<std::vector<u32>> hist(
+        nchunks, std::vector<u32>(bins.tiles, 0));
+
+    // Pass 1 (parallel over Gaussians): footprint rect + per-tile counts.
+    pool.parallelFor(0, nchunks, [&](size_t c) {
+        size_t lo = c * chunk;
+        size_t hi = std::min(n, lo + chunk);
+        std::vector<u32> &h = hist[c];
+        for (size_t k = lo; k < hi; ++k) {
+            FootprintRect r = footprintRect(projected[k], grid);
+            rects[k] = r;
+            if (!r.valid)
+                continue;
+            for (u32 ty = r.ty0; ty <= r.ty1; ++ty)
+                for (u32 tx = r.tx0; tx <= r.tx1; ++tx)
+                    ++h[static_cast<size_t>(ty) * grid.tilesX + tx];
+        }
+    });
+
+    // Exclusive prefix sum over tiles -> offsets; then turn each chunk's
+    // histogram into its write cursors within the tile ranges.
+    u64 total = 0;
+    for (u32 t = 0; t < bins.tiles; ++t) {
+        bins.offsets[t] = static_cast<u32>(total);
+        for (size_t c = 0; c < nchunks; ++c) {
+            u32 cnt = hist[c][t];
+            hist[c][t] = static_cast<u32>(total);
+            total += cnt;
+        }
     }
+    rtgs_assert(total <= 0xFFFFFFFFull);
+    bins.offsets[bins.tiles] = static_cast<u32>(total);
+
+    bins.indices.resize(total);
+
+    // Pass 2 (parallel over Gaussians): scatter ids into tile ranges.
+    // Sort keys are derived later by sortTilesByDepth, always from the
+    // depths current at sort time.
+    pool.parallelFor(0, nchunks, [&](size_t c) {
+        size_t lo = c * chunk;
+        size_t hi = std::min(n, lo + chunk);
+        std::vector<u32> &cursor = hist[c];
+        for (size_t k = lo; k < hi; ++k) {
+            const FootprintRect &r = rects[k];
+            if (!r.valid)
+                continue;
+            for (u32 ty = r.ty0; ty <= r.ty1; ++ty) {
+                for (u32 tx = r.tx0; tx <= r.tx1; ++tx) {
+                    u32 tile =
+                        static_cast<u32>(ty) * grid.tilesX + tx;
+                    bins.indices[cursor[tile]++] = static_cast<u32>(k);
+                }
+            }
+        }
+    });
     return bins;
 }
 

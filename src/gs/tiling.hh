@@ -2,6 +2,13 @@
  * @file
  * Step 1-2 (Tile intersection): assign projected 2D Gaussians to the
  * 16x16-pixel tiles their footprint overlaps.
+ *
+ * Binning mirrors the CUDA reference pipeline in portable C++: a
+ * parallel per-Gaussian count pass, an exclusive prefix sum over tile
+ * offsets, and a parallel stable scatter into one flat index buffer.
+ * Per-tile std::vector lists (and their per-frame allocation storm) are
+ * gone; every consumer reads a contiguous [offsets[t], offsets[t+1])
+ * range of the flat array.
  */
 
 #ifndef RTGS_GS_TILING_HH
@@ -38,19 +45,59 @@ struct TileGrid
 };
 
 /**
- * Per-tile Gaussian index lists. `lists[t]` holds the indices (into the
- * ProjectedCloud) of every Gaussian whose footprint touches tile t, in
- * arbitrary order (sorting happens in Step 2).
+ * Flat per-tile Gaussian index bins. Tile t owns the contiguous range
+ * indices[offsets[t] .. offsets[t+1]) of Gaussian ids (into the
+ * ProjectedCloud). intersectTiles emits each tile's ids in ascending
+ * Gaussian order; sortTilesByDepth reorders every range front-to-back.
+ *
+ * keys holds the packed (tileId << 32) | depthBits radix-sort key for
+ * each slot of indices; positive-float depth bits compare like the
+ * depths themselves, so one LSD radix pass sequence over the keys
+ * depth-sorts every tile range at once. The keys are filled by
+ * sortTilesByDepth from the depths current at sort time — binning
+ * leaves them empty.
  */
 struct TileBins
 {
-    std::vector<std::vector<u32>> lists;
+    u32 tiles = 0;             //!< tile count (== offsets.size() - 1)
+    std::vector<u32> offsets;  //!< exclusive prefix sums, size tiles + 1
+    std::vector<u32> indices;  //!< flat Gaussian ids, grouped by tile
+    std::vector<u64> keys;     //!< packed sort keys, parallel to indices
+
+    /** Number of Gaussians binned to tile t. */
+    u32 count(u32 tile) const
+    {
+        return offsets[tile + 1] - offsets[tile];
+    }
+
+    /** Pointer to tile t's ids (count(t) entries). */
+    const u32 *tileData(u32 tile) const
+    {
+        return indices.data() + offsets[tile];
+    }
 
     /** Total tile-Gaussian intersection count (used by adaptive pruning). */
-    u64 totalIntersections() const;
+    u64 totalIntersections() const { return indices.size(); }
 };
 
-/** Assign each valid projected Gaussian to all tiles it overlaps. */
+/** Pack a radix key: tile id in the high word, depth bits in the low. */
+inline u64
+packTileDepthKey(u32 tile, Real depth)
+{
+    // Positive IEEE-754 floats order identically to their bit patterns;
+    // depths are in (nearClip, farClip], so no sign handling is needed.
+    u32 depth_bits;
+    static_assert(sizeof(depth_bits) == sizeof(depth));
+    __builtin_memcpy(&depth_bits, &depth, sizeof(depth_bits));
+    return (static_cast<u64>(tile) << 32) | depth_bits;
+}
+
+/**
+ * Assign each valid projected Gaussian to all tiles it overlaps.
+ * Parallel over Gaussians; the scatter is stable, so each tile's range
+ * lists ids in ascending Gaussian order (the order the old per-tile
+ * push_back loop produced).
+ */
 TileBins intersectTiles(const ProjectedCloud &projected,
                         const TileGrid &grid);
 

@@ -60,8 +60,7 @@ IterationTrace::capture(const gs::ForwardContext &ctx,
     t.tiles.resize(ctx.grid.tileCount());
     for (u32 tile = 0; tile < ctx.grid.tileCount(); ++tile) {
         TileLoad &tl = t.tiles[tile];
-        tl.uniqueGaussians =
-            static_cast<u32>(ctx.bins.lists[tile].size());
+        tl.uniqueGaussians = ctx.bins.count(tile);
 
         u32 x0, y0, x1, y1;
         ctx.grid.tileBounds(tile, x0, y0, x1, y1);

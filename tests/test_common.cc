@@ -225,4 +225,47 @@ TEST(ThreadPool, NestedUseFromResults)
     EXPECT_EQ(total, n * (n + 1) * (2 * n + 1) / 6);
 }
 
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // A worker calling parallelFor used to block on chunks that only
+    // workers could drain (it *is* the drain); nested calls must run
+    // inline and still cover the full range exactly once.
+    ThreadPool pool(2);
+    std::vector<std::atomic<int>> hits(64 * 16);
+    pool.parallelFor(0, 64, [&](size_t i) {
+        pool.parallelFor(0, 16,
+                         [&](size_t j) { hits[i * 16 + j]++; });
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksCoversRangeOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(777);
+    pool.parallelForChunks(0, hits.size(), [&](size_t lo, size_t hi) {
+        EXPECT_LT(lo, hi);
+        for (size_t i = lo; i < hi; ++i)
+            hits[i]++;
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, OnWorkerThreadDetection)
+{
+    // Membership is per pool: the main thread is never a worker, and a
+    // worker of one pool must not claim membership of another.
+    ThreadPool pool(2), other(1);
+    EXPECT_FALSE(pool.onWorkerThread());
+    std::atomic<int> cross_claims{0};
+    pool.parallelFor(0, 64, [&](size_t) {
+        if (other.onWorkerThread())
+            cross_claims++;
+    });
+    EXPECT_EQ(cross_claims.load(), 0);
+    EXPECT_FALSE(pool.onWorkerThread());
+}
+
 } // namespace rtgs

@@ -50,9 +50,10 @@ gs::TileBins
 makeBins(u64 intersections)
 {
     gs::TileBins bins;
-    bins.lists.resize(1);
+    bins.tiles = 1;
+    bins.offsets = {0, static_cast<u32>(intersections)};
     for (u64 i = 0; i < intersections; ++i)
-        bins.lists[0].push_back(static_cast<u32>(i));
+        bins.indices.push_back(static_cast<u32>(i));
     return bins;
 }
 

@@ -95,7 +95,7 @@ TEST(Tiling, SmallGaussianInSingleTile)
     TileGrid grid(64, 64, st.tileSize);
     TileBins bins = intersectTiles(proj, grid);
     EXPECT_EQ(bins.totalIntersections(), 1u);
-    EXPECT_EQ(bins.lists[2 * grid.tilesX + 2].size(), 1u);
+    EXPECT_EQ(bins.count(2 * grid.tilesX + 2), 1u);
 }
 
 TEST(Tiling, LargeGaussianCoversAllTiles)
@@ -235,7 +235,7 @@ TEST(Rasterizer, WorkloadCountersAreConsistent)
             u32 blend = ctx.result.nBlended.at(x, y);
             u32 tile = ctx.grid.tileOfPixel(x, y);
             EXPECT_LE(blend, iter);
-            EXPECT_LE(iter, ctx.bins.lists[tile].size());
+            EXPECT_LE(iter, ctx.bins.count(tile));
         }
     }
 }

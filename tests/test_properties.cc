@@ -117,7 +117,7 @@ TEST_P(RenderProperty, WorkloadCountersConsistent)
             EXPECT_LE(ctx.result.nBlended.at(x, y),
                       ctx.result.nContrib.at(x, y));
             EXPECT_LE(ctx.result.nContrib.at(x, y),
-                      ctx.bins.lists[tile].size());
+                      ctx.bins.count(tile));
         }
     }
     EXPECT_TRUE(gs::tilesAreDepthSorted(ctx.bins, ctx.projected));
