@@ -4,14 +4,24 @@
  * configurations (edge GPU, +DISTWAR, RTGS tracking-only, RTGS full)
  * for three algorithms on three datasets, against the 30 FPS real-time
  * bar; (b) energy-efficiency improvement of the full RTGS system over
- * the GPU baseline across the four datasets.
+ * the GPU baseline across the four datasets; (c) the frame-level
+ * similarity gate on a near-static sequence: gated-vs-ungated tracking
+ * iterations, wall-clock, and PSNR cost.
  *
  * Expected shape: DISTWAR gives small gains; RTGS tracking-only is
  * large but can miss 30 FPS on heavy datasets; full RTGS crosses
  * 30 FPS everywhere, with order-of-magnitude energy-efficiency gains.
+ * The gate must skip >= 40% of tracking iterations on the near-static
+ * sequence for < 0.5 dB of PSNR.
+ *
+ * Results are written to BENCH_fig15_end_to_end.json (override with
+ * RTGS_BENCH_JSON_FIG15) so the perf trajectory accumulates.
  */
 
 #include "bench_util.hh"
+
+#include <string>
+#include <vector>
 
 int
 main()
@@ -34,6 +44,13 @@ main()
                                "energy eff. gain"});
     energy_table.setTitle("\n(b) energy-efficiency improvement "
                           "(RTGS vs ONX baseline)");
+
+    struct FpsRow
+    {
+        std::string dataset, algorithm;
+        double gpu, distwar, noMap, full, energyGain;
+    };
+    std::vector<FpsRow> fps_rows;
 
     auto presets = data::DatasetSpec::allPresets(benchScale());
     for (size_t d = 0; d < presets.size(); ++d) {
@@ -59,6 +76,8 @@ main()
             auto full = model.sequenceReport(ours.traces,
                                              hw::SystemKind::RtgsFull);
 
+            double energy_gain =
+                gpu.energyPerFrame() / full.energyPerFrame();
             if (d < 3) { // Fig. 15a shows three datasets
                 fps_table.addRow(
                     {spec.name, slam::algorithmName(algo),
@@ -67,19 +86,115 @@ main()
                      TablePrinter::num(no_map.fps(), 1),
                      TablePrinter::num(full.fps(), 1),
                      full.fps() >= 30 ? "yes" : "NO"});
+                fps_rows.push_back({spec.name,
+                                    slam::algorithmName(algo),
+                                    gpu.fps(), distwar.fps(),
+                                    no_map.fps(), full.fps(),
+                                    energy_gain});
             }
             energy_table.addRow(
                 {spec.name, slam::algorithmName(algo),
-                 TablePrinter::num(gpu.energyPerFrame() /
-                                   full.energyPerFrame(), 1) + "x"});
+                 TablePrinter::num(energy_gain, 1) + "x"});
         }
     }
     fps_table.print();
     energy_table.print();
 
+    // --- (c) frame-level similarity gating on a near-static sequence
+    data::DatasetSpec static_spec =
+        benchSpec(data::DatasetSpec::tumLike(benchScale()));
+    // ~1-2 mm inter-frame motion: the gate's target regime (Fig. 5).
+    static_spec.trajectory.revolutions =
+        Real(0.0002) * static_cast<Real>(benchFrames());
+
+    auto run_gated = [&](bool gated) {
+        data::SyntheticDataset ds(static_spec);
+        core::RtgsSlamConfig cfg =
+            benchConfig(slam::BaseAlgorithm::MonoGs);
+        cfg.enablePruning = false;
+        cfg.enableDownsampling = false;
+        cfg.gate.enabled = gated;
+        return runSequence(ds, cfg);
+    };
+    RunOutcome ungated = run_gated(false);
+    RunOutcome gated = run_gated(true);
+
+    auto track_iters = [](const RunOutcome &o) {
+        u64 iters = 0;
+        for (const auto &r : o.reports)
+            iters += r.base.trackIterations;
+        return iters;
+    };
+    u64 iters_ungated = track_iters(ungated);
+    u64 iters_gated = track_iters(gated);
+    double skipped =
+        iters_ungated
+            ? 1.0 - static_cast<double>(iters_gated) /
+                        static_cast<double>(iters_ungated)
+            : 0.0;
+    double psnr_drop = ungated.psnrDb - gated.psnrDb;
+
+    TablePrinter gate_table({"run", "track iters", "wall s", "PSNR dB"});
+    gate_table.setTitle("\n(c) similarity gate on a near-static "
+                        "sequence (MonoGS)");
+    gate_table.addRow({"ungated", std::to_string(iters_ungated),
+                       TablePrinter::num(ungated.wallSeconds, 3),
+                       TablePrinter::num(ungated.psnrDb, 2)});
+    gate_table.addRow({"gated", std::to_string(iters_gated),
+                       TablePrinter::num(gated.wallSeconds, 3),
+                       TablePrinter::num(gated.psnrDb, 2)});
+    gate_table.print();
+    std::printf("\ngate skipped %.1f%% of tracking iterations for "
+                "%.3f dB of PSNR (target: >=40%%, <0.5 dB)\n",
+                100.0 * skipped, psnr_drop);
+
     std::printf("\nShape check vs paper Fig. 15: DISTWAR < RTGS w/o "
                 "mapping < RTGS; the full system\nclears 30 FPS on every "
                 "algorithm/dataset; paper's energy gains are "
                 "32.7x-73.0x.\n");
+
+    std::string path;
+    std::FILE *out = openBenchJson("RTGS_BENCH_JSON_FIG15",
+                                   "BENCH_fig15_end_to_end.json", path);
+    if (!out)
+        return 1;
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"fig15_end_to_end\",\n"
+                 "  \"scale\": %.3f,\n"
+                 "  \"frames\": %u,\n"
+                 "  \"fps\": [\n",
+                 static_cast<double>(benchScale()), benchFrames());
+    for (size_t i = 0; i < fps_rows.size(); ++i) {
+        const FpsRow &r = fps_rows[i];
+        std::fprintf(out,
+                     "    {\"dataset\": \"%s\", \"algorithm\": \"%s\", "
+                     "\"onx\": %.2f, \"distwar\": %.2f, "
+                     "\"rtgs_no_map\": %.2f, \"rtgs\": %.2f, "
+                     "\"energy_gain\": %.2f}%s\n",
+                     r.dataset.c_str(), r.algorithm.c_str(), r.gpu,
+                     r.distwar, r.noMap, r.full, r.energyGain,
+                     i + 1 == fps_rows.size() ? "" : ",");
+    }
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"gating_near_static\": {\n"
+                 "    \"algorithm\": \"MonoGS\",\n"
+                 "    \"track_iters_ungated\": %llu,\n"
+                 "    \"track_iters_gated\": %llu,\n"
+                 "    \"iterations_skipped_fraction\": %.4f,\n"
+                 "    \"wall_seconds_ungated\": %.4f,\n"
+                 "    \"wall_seconds_gated\": %.4f,\n"
+                 "    \"psnr_db_ungated\": %.3f,\n"
+                 "    \"psnr_db_gated\": %.3f,\n"
+                 "    \"psnr_db_drop\": %.4f\n"
+                 "  }\n"
+                 "}\n",
+                 static_cast<unsigned long long>(iters_ungated),
+                 static_cast<unsigned long long>(iters_gated), skipped,
+                 ungated.wallSeconds, gated.wallSeconds, ungated.psnrDb,
+                 gated.psnrDb, psnr_drop);
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
     return 0;
 }

@@ -4,12 +4,19 @@
  * between consecutive frames, annotated with keyframe positions.
  * Expected shape: high similarity throughout; frames right after a
  * keyframe are the most similar to it, degrading with distance —
- * the premise of dynamic downsampling (Observation 5).
+ * the premise of dynamic downsampling (Observation 5) and of the
+ * frame-level similarity gate.
+ *
+ * Also feeds the sequence through core::SimilarityGate and writes
+ * BENCH_fig5_frame_similarity.json (override with
+ * RTGS_BENCH_JSON_FIG5) so the gate's budget trajectory accumulates
+ * alongside the figure data.
  */
 
 #include "bench_util.hh"
 
 #include "common/stats.hh"
+#include "core/similarity_gate.hh"
 
 int
 main()
@@ -27,10 +34,24 @@ main()
 
     const u32 kf_interval = 4;
     TablePrinter table({"frame", "kf?", "RMSE vs prev", "SSIM vs prev",
-                        "RMSE vs last kf"});
+                        "RMSE vs last kf", "gate budget"});
+
+    core::SimilarityGateConfig gate_cfg;
+    gate_cfg.enabled = true;
+    gate_cfg.useSsim = true;
+    core::SimilarityGate gate(gate_cfg);
+    gate.evaluate(dataset.frame(0).rgb, nullptr);
+
+    struct Row
+    {
+        u32 frame;
+        bool kf;
+        double rmsePrev, ssimPrev, rmseKf, budgetScale;
+    };
+    std::vector<Row> rows;
 
     u32 last_kf = 0;
-    RunningStat near_rmse, far_rmse;
+    RunningStat near_rmse, far_rmse, budget_scales;
     for (u32 f = 1; f < dataset.frameCount(); ++f) {
         bool kf = f % kf_interval == 0;
         if (kf)
@@ -41,10 +62,15 @@ main()
         double rmse_prev = imageRmse(cur.rgb, prev.rgb);
         double ssim_prev = ssim(cur.rgb, prev.rgb);
         double rmse_kf = imageRmse(cur.rgb, kf_frame.rgb);
+        core::GateDecision d = gate.evaluate(cur.rgb, nullptr);
         table.addRow({std::to_string(f), kf ? "*" : "",
                       TablePrinter::num(rmse_prev, 4),
                       TablePrinter::num(ssim_prev, 3),
-                      TablePrinter::num(rmse_kf, 4)});
+                      TablePrinter::num(rmse_kf, 4),
+                      TablePrinter::num(d.budgetScale, 2)});
+        rows.push_back({f, kf, rmse_prev, ssim_prev, rmse_kf,
+                        static_cast<double>(d.budgetScale)});
+        budget_scales.add(d.budgetScale);
         u32 dist = f - last_kf;
         (dist <= 1 ? near_rmse : far_rmse).add(rmse_kf);
     }
@@ -52,9 +78,45 @@ main()
 
     std::printf("\nmean RMSE to nearest keyframe:  distance<=1: %.4f   "
                 "distance>1: %.4f\n", near_rmse.mean(), far_rmse.mean());
+    std::printf("mean gate budget scale: %.2f (1 = ungated)\n",
+                budget_scales.mean());
     std::printf("\nShape check vs paper Fig. 5: consecutive frames are "
                 "highly similar and similarity\nto the last keyframe "
                 "decays with distance -> adaptive resolution is safe "
                 "near keyframes.\n");
+
+    std::string path;
+    std::FILE *out = openBenchJson("RTGS_BENCH_JSON_FIG5",
+                                   "BENCH_fig5_frame_similarity.json",
+                                   path);
+    if (!out)
+        return 1;
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"fig5_frame_similarity\",\n"
+                 "  \"frames\": %u,\n"
+                 "  \"scale\": %.3f,\n"
+                 "  \"kf_interval\": %u,\n"
+                 "  \"mean_rmse_kf_near\": %.6f,\n"
+                 "  \"mean_rmse_kf_far\": %.6f,\n"
+                 "  \"mean_gate_budget_scale\": %.4f,\n"
+                 "  \"per_frame\": [\n",
+                 dataset.frameCount(),
+                 static_cast<double>(benchScale()), kf_interval,
+                 near_rmse.mean(), far_rmse.mean(),
+                 budget_scales.mean());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(out,
+                     "    {\"frame\": %u, \"keyframe\": %s, "
+                     "\"rmse_prev\": %.6f, \"ssim_prev\": %.4f, "
+                     "\"rmse_kf\": %.6f, \"gate_budget_scale\": %.4f}%s\n",
+                     r.frame, r.kf ? "true" : "false", r.rmsePrev,
+                     r.ssimPrev, r.rmseKf, r.budgetScale,
+                     i + 1 == rows.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
     return 0;
 }

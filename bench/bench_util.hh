@@ -145,6 +145,9 @@ runSequence(data::SyntheticDataset &dataset,
         out.gt.push_back(dataset.gtPose(f));
         have_track = false;
     }
+    // Drain asynchronously enqueued mapping inside the timed region so
+    // async configurations pay for their full pipeline.
+    rtgs.finish();
     out.wallSeconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0).count();
 
@@ -156,6 +159,25 @@ runSequence(data::SyntheticDataset &dataset,
     out.finalGaussians = rtgs.system().cloud().size();
     out.peakBytes = rtgs.system().peakGaussianBytes();
     out.reports = rtgs.reports();
+    return out;
+}
+
+/**
+ * Open a bench's JSON result file for writing. Each bench has its own
+ * override variable so exporting one does not make two benches clobber
+ * a shared path. Returns null (with a message) on failure.
+ */
+inline std::FILE *
+openBenchJson(const char *env_var, const char *default_path,
+              std::string &path_out)
+{
+    const char *path = std::getenv(env_var);
+    if (!path)
+        path = default_path;
+    path_out = path;
+    std::FILE *out = std::fopen(path, "w");
+    if (!out)
+        std::fprintf(stderr, "cannot open %s\n", path);
     return out;
 }
 

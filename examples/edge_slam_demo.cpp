@@ -88,6 +88,7 @@ main()
                                   cfg.base.mapper.iterations);
             gt.push_back(dataset.gtPose(f));
         }
+        rtgs.finish(); // drain async mapping, if configured
         double ate =
             slam::computeAte(rtgs.system().trajectory(), gt).rmse;
         return std::make_pair(collector.frames, ate);

@@ -24,25 +24,32 @@ main()
     spec.trajectory.revolutions = 0.12f;
     data::SyntheticDataset dataset(spec);
 
-    // 2. RTGS on top of the MonoGS-like base algorithm.
+    // 2. RTGS on top of the MonoGS-like base algorithm, with the
+    //    frame-level similarity gate scaling iteration budgets.
     core::RtgsSlamConfig config;
     config.base =
         slam::SlamConfig::forAlgorithm(slam::BaseAlgorithm::MonoGs);
     config.base.tracker.iterations = 12;
     config.base.mapper.iterations = 15;
+    config.gate.enabled = true;
     core::RtgsSlam rtgs(config, dataset.intrinsics());
 
     // 3. Feed frames.
     std::printf("processing %u frames at %ux%u...\n",
                 dataset.frameCount(), spec.width(), spec.height());
+    u64 gated_iterations = 0;
     for (u32 f = 0; f < dataset.frameCount(); ++f) {
         auto report = rtgs.processFrame(dataset.frame(f));
+        gated_iterations += report.gatedTrackIterations;
         if (f % 6 == 0) {
-            std::printf("  frame %2u  kf=%d  scale=%.2f  gaussians=%zu\n",
+            std::printf("  frame %2u  kf=%d  scale=%.2f  budget=%.2f  "
+                        "gaussians=%zu\n",
                         f, report.base.isKeyframe ? 1 : 0,
-                        report.trackingScale, report.base.gaussianCount);
+                        report.trackingScale, report.gate.budgetScale,
+                        report.base.gaussianCount);
         }
     }
+    rtgs.finish(); // drain async mapping, if configured
 
     // 4. Evaluate.
     std::vector<SE3> gt;
@@ -63,5 +70,7 @@ main()
     std::printf("  pruned          : %zu Gaussians (%.0f%% of initial)\n",
                 rtgs.pruner().stats().prunedTotal,
                 rtgs.pruner().prunedRatio() * 100);
+    std::printf("  gate skipped    : %llu tracking iterations\n",
+                static_cast<unsigned long long>(gated_iterations));
     return 0;
 }

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A small bounded blocking work queue.
+ *
+ * Built for the SLAM pipeline's single-producer (the frame loop pushes
+ * keyframe mapping jobs) / single-consumer (one drain task pops them)
+ * pattern, though the mutex-based implementation is safe for any number
+ * of producers and consumers. The bounded capacity is the backpressure
+ * mechanism: when `capacity` jobs are already pending, push() blocks the
+ * producer, so the frame loop can never run unboundedly ahead of the
+ * asynchronous mapper.
+ */
+
+#ifndef RTGS_COMMON_BOUNDED_QUEUE_HH
+#define RTGS_COMMON_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace rtgs
+{
+
+/** Bounded FIFO queue with blocking push/pop and cooperative shutdown. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Enqueue, blocking while the queue is full. Returns false (and
+     * drops the value) if the queue was closed.
+     */
+    bool
+    push(T value)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock, [this] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(value));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue, blocking while the queue is empty. Returns false once the
+     * queue is closed and drained.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Dequeue without blocking; false when nothing is available. */
+    bool
+    tryPop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Wake all waiters; push() fails and pop() drains then fails. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    size_t capacity() const { return capacity_; }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    size_t capacity_;
+    bool closed_ = false;
+};
+
+} // namespace rtgs
+
+#endif // RTGS_COMMON_BOUNDED_QUEUE_HH

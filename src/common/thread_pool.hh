@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -66,6 +67,20 @@ class ThreadPool
      */
     void parallelForChunks(size_t begin, size_t end,
                            const std::function<void(size_t, size_t)> &fn);
+
+    /**
+     * Enqueue a standalone task and return a future that becomes ready
+     * when it finishes (exceptions propagate through the future).
+     * Unlike parallelFor the caller does not block or participate.
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Fire-and-forget variant of submit: no future, no packaged-task
+     * allocation. The task must not throw. Used by the asynchronous
+     * mapping stage, which tracks completion itself.
+     */
+    void post(std::function<void()> task);
 
   private:
     void workerLoop();

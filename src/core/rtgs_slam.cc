@@ -1,17 +1,45 @@
 #include "core/rtgs_slam.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace rtgs::core
 {
 
+namespace
+{
+
+/** Sanitise the base config for the RTGS layer's hook-driven pruning. */
+slam::SlamConfig
+sanitizedBase(const RtgsSlamConfig &config)
+{
+    slam::SlamConfig base = config.base;
+    if (base.mapQueueDepth > 0 && config.enablePruning &&
+        config.pruneMethod != PruneMethod::None) {
+        // In-tracking pruning compacts the authoritative cloud from the
+        // frame loop while an async map job may hold it; the keep masks
+        // are computed against the tracking snapshot, so indices would
+        // not line up. Run mapping synchronously in that combination.
+        warn("async mapping (queue depth %u) is incompatible with "
+             "in-tracking pruning; falling back to synchronous mapping",
+             base.mapQueueDepth);
+        base.mapQueueDepth = 0;
+    }
+    return base;
+}
+
+} // namespace
+
 RtgsSlam::RtgsSlam(const RtgsSlamConfig &config,
                    const Intrinsics &intrinsics)
     : config_(config),
-      system_(std::make_unique<slam::SlamSystem>(config.base, intrinsics)),
+      system_(std::make_unique<slam::SlamSystem>(sanitizedBase(config),
+                                                 intrinsics)),
       pruner_(config.pruner), downsampler_(config.downsampler),
-      taming_(500)
+      taming_(500), gate_(config.gate)
 {
+    config_.base = system_->config();
     installHooks();
 }
 
@@ -22,12 +50,33 @@ RtgsSlam::setExternalTrackHook(slam::TrackIterationHook hook)
 }
 
 void
+RtgsSlam::finish()
+{
+    system_->waitForMapping();
+    // Async map jobs fill their results into SlamSystem::reports_ rows;
+    // refresh this layer's copies so the documented contract (drain,
+    // then read reports()) holds here too. Rows align 1:1 by frame.
+    const auto &base_reports = system_->reports();
+    for (size_t i = 0;
+         i < std::min(reports_.size(), base_reports.size()); ++i) {
+        if (reports_[i].base.mappedAsync)
+            reports_[i].base = base_reports[i];
+    }
+}
+
+void
 RtgsSlam::installHooks()
 {
     system_->setTrackIterationHook(
         [this](const slam::TrackIterationContext &ctx) {
             if (externalHook_)
                 externalHook_(ctx);
+            if (ctx.iteration == 0) {
+                // First-iteration workload is representative of the
+                // frame; feeds the similarity gate's workload signal.
+                lastWorkload_ = ctx.forward->workload();
+                haveLastWorkload_ = true;
+            }
             if (!pruneThisFrame_)
                 return;
             if (config_.pruneMethod == PruneMethod::Rtgs) {
@@ -47,13 +96,50 @@ RtgsSlam::installHooks()
         });
 }
 
+void
+RtgsSlam::applyTamingPrune()
+{
+    // Taming prunes on its (noisy, under-warmed) trend scores with a
+    // fixed per-frame slice up to the same global cap.
+    auto &cloud = system_->cloud();
+    if (tamingInitial_ == 0)
+        tamingInitial_ = cloud.size();
+    double cap = config_.tamingMaxPruneRatio;
+    double current = tamingInitial_
+        ? static_cast<double>(tamingPruned_) /
+          static_cast<double>(tamingInitial_)
+        : 0.0;
+    if (current >= cap || cloud.size() <= 64)
+        return;
+
+    // The scorer saw the cloud as it was during tracking; densification
+    // on keyframes (or every frame, SplaTAM-like) may have grown it
+    // since. Grown entries get zero trend score — they have shown no
+    // gradient evidence yet — and keepMaskFromScores' floor keeps the
+    // prune slice bounded regardless.
+    std::vector<Real> scores = taming_.scores();
+    scores.resize(cloud.size(), 0);
+    std::vector<u8> keep = keepMaskFromScores(
+        scores, config_.tamingFramePruneFraction, 64);
+    size_t removed = 0;
+    for (u8 k : keep)
+        removed += k ? 0 : 1;
+    if (removed > 0) {
+        cloud.compact(keep);
+        system_->mapper().remapOptimizer(keep);
+        taming_.remap(keep);
+        tamingPruned_ += removed;
+    }
+}
+
 RtgsFrameReport
 RtgsSlam::processFrame(const data::Frame &frame)
 {
     RtgsFrameReport report;
 
-    // RTGS decides keyframe status *before* tracking so downsampling
-    // can reuse it (Sec. 4.2 reuses the keyframe identification step).
+    // Stage: keyframe prediction. RTGS decides keyframe status *before*
+    // tracking so downsampling can reuse it (Sec. 4.2 reuses the
+    // keyframe identification step).
     bool predicted_kf = system_->predictKeyframe(frame);
     report.predictedKeyframe = predicted_kf;
 
@@ -64,6 +150,45 @@ RtgsSlam::processFrame(const data::Frame &frame)
     bool every_frame_base =
         config_.base.algorithm == slam::BaseAlgorithm::SplaTam;
     bool treat_as_keyframe = predicted_kf && !every_frame_base;
+
+    // Stage: similarity gate. Scales this frame's iteration budgets
+    // from inter-frame similarity + the last frame's workload counters.
+    // Photo-SLAM's geometric (ICP) tracking backend has no rendering
+    // iterations to gate, and its keyframe-based mapping is ungated
+    // too — skip even the probe work for that profile.
+    bool gate_tracking =
+        config_.base.algorithm != slam::BaseAlgorithm::PhotoSlam;
+    if (gate_tracking) {
+        report.gate = gate_.evaluate(
+            frame.rgb, haveLastWorkload_ ? &lastWorkload_ : nullptr);
+    }
+    slam::FrameBudget budget;
+    bool use_budget = false;
+    if (report.gate.gated && frame.index > 0 && gate_tracking) {
+        // Tracking is gated on every frame (a near-static keyframe's
+        // pose is as cheap to refine as any other frame's), but
+        // keyframes of keyframe-based profiles keep a more conservative
+        // floor: the map is built from their poses. Every-frame bases
+        // gate both stages, matching the paper's per-frame treatment.
+        if (!treat_as_keyframe) {
+            budget.trackIterations = report.gate.scaleIterations(
+                config_.base.tracker.iterations,
+                config_.gate.minIterations);
+            use_budget = true;
+        } else {
+            budget.trackIterations = report.gate.scaleIterations(
+                config_.base.tracker.iterations,
+                std::max(config_.gate.minIterations,
+                         config_.base.tracker.iterations / 2));
+            use_budget = true;
+        }
+        if (every_frame_base) {
+            budget.mapIterations = report.gate.scaleIterations(
+                config_.base.mapper.iterations,
+                config_.gate.minIterations);
+            use_budget = true;
+        }
+    }
 
     Real scale = Real(1);
     if (config_.enableDownsampling) {
@@ -79,35 +204,19 @@ RtgsSlam::processFrame(const data::Frame &frame)
     if (pruneThisFrame_ && config_.pruneMethod == PruneMethod::Rtgs)
         pruner_.beginFrame(system_->cloud());
 
-    report.base = system_->processFrame(frame, scale, &predicted_kf);
-
-    if (pruneThisFrame_ && config_.pruneMethod == PruneMethod::Taming) {
-        // Taming prunes on its (noisy, under-warmed) trend scores with
-        // a fixed per-frame slice up to the same global cap.
-        auto &cloud = system_->cloud();
-        if (tamingInitial_ == 0)
-            tamingInitial_ = cloud.size();
-        double cap = config_.tamingMaxPruneRatio;
-        double current = tamingInitial_
-            ? static_cast<double>(tamingPruned_) /
-              static_cast<double>(tamingInitial_)
-            : 0.0;
-        if (current < cap && cloud.size() > 64) {
-            std::vector<Real> scores = taming_.scores();
-            scores.resize(cloud.size(), 0);
-            std::vector<u8> keep = keepMaskFromScores(
-                scores, config_.tamingFramePruneFraction, 64);
-            size_t removed = 0;
-            for (u8 k : keep)
-                removed += k ? 0 : 1;
-            if (removed > 0) {
-                cloud.compact(keep);
-                system_->mapper().remapOptimizer(keep);
-                taming_.remap(keep);
-                tamingPruned_ += removed;
-            }
-        }
+    report.base = system_->processFrame(frame, scale, &predicted_kf,
+                                        use_budget ? &budget : nullptr);
+    // Claim skipped iterations only when rendering-based tracking
+    // actually ran under the reduced budget.
+    if (budget.trackIterations > 0 &&
+        budget.trackIterations < config_.base.tracker.iterations &&
+        report.base.trackIterations > 0) {
+        report.gatedTrackIterations =
+            config_.base.tracker.iterations - budget.trackIterations;
     }
+
+    if (pruneThisFrame_ && config_.pruneMethod == PruneMethod::Taming)
+        applyTamingPrune();
     pruneThisFrame_ = false;
 
     report.prunedTotal = pruner_.stats().prunedTotal;

@@ -15,6 +15,7 @@
 #include "core/baselines.hh"
 #include "core/downsampling.hh"
 #include "core/pruning.hh"
+#include "core/similarity_gate.hh"
 #include "slam/pipeline.hh"
 
 namespace rtgs::core
@@ -33,6 +34,13 @@ struct RtgsSlamConfig
     PrunerConfig pruner;
     DownsamplerConfig downsampler;
 
+    /**
+     * Frame-level similarity gating (Sec. 3 / Fig. 5): scales the
+     * per-frame iteration budgets from inter-frame similarity.
+     * Disabled by default.
+     */
+    SimilarityGateConfig gate;
+
     /** Taming baseline: per-frame pruning slice and global cap. */
     Real tamingFramePruneFraction = Real(0.08);
     Real tamingMaxPruneRatio = Real(0.5);
@@ -46,6 +54,10 @@ struct RtgsFrameReport
     bool predictedKeyframe = false;
     size_t prunedTotal = 0;         //!< cumulative removals
     size_t maskedNow = 0;           //!< currently masked
+    GateDecision gate;              //!< similarity-gate outcome
+    /** Iterations the gate skipped vs the configured tracking budget
+     *  (0 when the gate is disabled or the frame was ungated). */
+    u32 gatedTrackIterations = 0;
 };
 
 /**
@@ -73,19 +85,40 @@ class RtgsSlam
     /** Process the next frame through the enhanced pipeline. */
     RtgsFrameReport processFrame(const data::Frame &frame);
 
+    /**
+     * Block until asynchronously enqueued mapping work has completed
+     * and refresh reports() rows with the completed map results. Call
+     * before reading the map / reports when base.mapQueueDepth > 0
+     * (no-op otherwise).
+     */
+    void finish();
+
+    const SimilarityGate &gate() const { return gate_; }
+
   private:
     void installHooks();
+
+    /**
+     * Taming baseline: prune a fixed per-frame slice on the scorer's
+     * trend scores, up to the global cap. Handles the scores-shorter-
+     * than-cloud case after densification grew the map (new Gaussians
+     * carry zero trend score until observed).
+     */
+    void applyTamingPrune();
 
     RtgsSlamConfig config_;
     std::unique_ptr<slam::SlamSystem> system_;
     AdaptiveGaussianPruner pruner_;
     DynamicDownsampler downsampler_;
     TamingScorer taming_;
+    SimilarityGate gate_;
     slam::TrackIterationHook externalHook_;
     std::vector<RtgsFrameReport> reports_;
     bool pruneThisFrame_ = false;
     size_t tamingPruned_ = 0;
     size_t tamingInitial_ = 0;
+    gs::WorkloadSummary lastWorkload_;
+    bool haveLastWorkload_ = false;
 };
 
 } // namespace rtgs::core

@@ -12,6 +12,20 @@ RenderPipeline::RenderPipeline(const RenderSettings &settings)
 {
 }
 
+WorkloadSummary
+ForwardContext::workload() const
+{
+    WorkloadSummary w;
+    w.activeGaussians = projected.validCount();
+    w.culledGaussians = projected.size() - w.activeGaussians;
+    w.tileIntersections = bins.totalIntersections();
+    w.fragmentsIterated = result.totalFragments();
+    w.fragmentsBlended = result.totalBlended();
+    w.imagePixels = static_cast<u64>(result.image.width()) *
+                    result.image.height();
+    return w;
+}
+
 ForwardContext
 RenderPipeline::forward(const GaussianCloud &cloud,
                         const Camera &camera) const

@@ -16,6 +16,32 @@
 namespace rtgs::gs
 {
 
+/**
+ * Per-frame workload counters in one compact record. The similarity
+ * gate and the hardware models consume these instead of re-deriving
+ * them from the full forward context.
+ */
+struct WorkloadSummary
+{
+    size_t activeGaussians = 0;   //!< projected (unmasked) Gaussians
+    size_t culledGaussians = 0;   //!< masked or frustum/size-culled
+    u64 tileIntersections = 0;    //!< Gaussian-tile pairs binned
+    u64 fragmentsIterated = 0;    //!< fragments examined by rasterisation
+    u64 fragmentsBlended = 0;     //!< fragments above the alpha threshold
+    u64 imagePixels = 0;          //!< pixels rendered (for normalising)
+
+    /** Fragments per rendered pixel — comparable across frames even
+     *  when dynamic downsampling changes the tracking resolution. */
+    double
+    fragmentsPerPixel() const
+    {
+        return imagePixels
+                   ? static_cast<double>(fragmentsIterated) /
+                         static_cast<double>(imagePixels)
+                   : 0.0;
+    }
+};
+
 /** All forward-pass intermediates for one rendered view. */
 struct ForwardContext
 {
@@ -24,6 +50,9 @@ struct ForwardContext
     ProjectedCloud projected;
     TileBins bins;
     RenderResult result;
+
+    /** Summarise this frame's workload counters. */
+    WorkloadSummary workload() const;
 };
 
 /**

@@ -1,0 +1,93 @@
+#include "slam/map_worker.hh"
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace rtgs::slam
+{
+
+MapWorker::MapWorker(size_t queue_depth, RunFn run)
+    : queue_(queue_depth), run_(std::move(run))
+{
+}
+
+MapWorker::~MapWorker()
+{
+    drain(); // after this, no drainer is live and the queue is empty
+    queue_.close();
+}
+
+void
+MapWorker::enqueue(MapJob job)
+{
+    // Count before pushing so completed_ can never transiently exceed
+    // submitted_ (the drainer may pop-and-finish the job before this
+    // thread reacquires statusMutex_).
+    {
+        std::lock_guard<std::mutex> lock(statusMutex_);
+        ++submitted_;
+    }
+    // Blocks while `queue_depth` jobs are pending: the frame loop can
+    // run at most that many keyframes ahead of the map.
+    queue_.push(std::move(job));
+    bool spawn = false;
+    {
+        std::lock_guard<std::mutex> lock(statusMutex_);
+        if (!drainerActive_) {
+            drainerActive_ = true;
+            spawn = true;
+        }
+    }
+    if (spawn)
+        globalPool().post([this] { drainLoop(); });
+}
+
+void
+MapWorker::drainLoop()
+{
+    for (;;) {
+        MapJob job;
+        {
+            // Pop-or-retire atomically with the drainer flag, so a
+            // producer that pushes just after the queue looks empty
+            // observes drainerActive_ == false and spawns a new drainer
+            // (no lost jobs). Retiring is the drainer's LAST touch of
+            // member state, and the notify happens under the lock:
+            // drain() waits for !drainerActive_, so this MapWorker can
+            // only be destroyed after the drainer has fully let go.
+            std::lock_guard<std::mutex> lock(statusMutex_);
+            if (!queue_.tryPop(job)) {
+                drainerActive_ = false;
+                statusCv_.notify_all();
+                return;
+            }
+        }
+        try {
+            run_(job);
+        } catch (const std::exception &e) {
+            // A lost exception must not wedge drain() forever.
+            warn("map job for frame %u failed: %s",
+                 job.record.frameIndex, e.what());
+        } catch (...) {
+            warn("map job for frame %u failed", job.record.frameIndex);
+        }
+        {
+            std::lock_guard<std::mutex> lock(statusMutex_);
+            ++completed_;
+        }
+    }
+}
+
+void
+MapWorker::drain()
+{
+    // Producer-side call (SPSC): every enqueue() this drain should
+    // cover has already bumped submitted_, so waiting for the drainer
+    // to retire with matching counters covers all pending jobs.
+    std::unique_lock<std::mutex> lock(statusMutex_);
+    statusCv_.wait(lock, [this] {
+        return completed_ == submitted_ && !drainerActive_;
+    });
+}
+
+} // namespace rtgs::slam

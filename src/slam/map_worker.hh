@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The enqueue-map stage: a bounded keyframe work queue whose jobs run
+ * asynchronously on the shared ThreadPool, overlapping mapping with the
+ * tracking of subsequent frames (the loop-level restructuring CaRtGS /
+ * RTG-SLAM use to reach real time).
+ *
+ * Threading model:
+ *  - The frame loop (producer) pushes one MapJob per keyframe; when
+ *    `queue_depth` jobs are already pending, push blocks — bounded
+ *    staleness backpressure.
+ *  - At most ONE drain task exists at a time: it loops, popping and
+ *    running jobs until the queue is empty, then retires. A push that
+ *    finds no active drainer spawns one on the ThreadPool. Jobs run
+ *    strictly FIFO, and no pool worker ever parks waiting for another
+ *    job to finish (tracking's parallelFor keeps its workers).
+ *  - drain() blocks until every enqueued job has finished; the
+ *    destructor drains implicitly.
+ */
+
+#ifndef RTGS_SLAM_MAP_WORKER_HH
+#define RTGS_SLAM_MAP_WORKER_HH
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/bounded_queue.hh"
+#include "slam/keyframe.hh"
+#include "slam/mapper.hh"
+
+namespace rtgs::slam
+{
+
+/** One unit of asynchronous mapping work. */
+struct MapJob
+{
+    KeyframeRecord record;
+    u32 mapIterationBudget = 0; //!< 0 = mapper config default
+    size_t reportIndex = 0;     //!< row in SlamSystem::reports_ to fill
+};
+
+/** Bounded asynchronous executor for keyframe mapping jobs. */
+class MapWorker
+{
+  public:
+    using RunFn = std::function<void(MapJob &job)>;
+
+    /**
+     * @param queue_depth max pending jobs before enqueue() blocks (>= 1)
+     * @param run         executes one job (called on a pool worker)
+     */
+    MapWorker(size_t queue_depth, RunFn run);
+    ~MapWorker();
+
+    MapWorker(const MapWorker &) = delete;
+    MapWorker &operator=(const MapWorker &) = delete;
+
+    /** Submit a job; blocks while the queue is at capacity. */
+    void enqueue(MapJob job);
+
+    /** Wait until all jobs submitted so far have completed. */
+    void drain();
+
+  private:
+    void drainLoop();
+
+    BoundedQueue<MapJob> queue_;
+    RunFn run_;
+
+    mutable std::mutex statusMutex_;
+    std::condition_variable statusCv_;
+    size_t submitted_ = 0;
+    size_t completed_ = 0;
+    /** True while a drain task is live on the pool (at most one). */
+    bool drainerActive_ = false;
+};
+
+} // namespace rtgs::slam
+
+#endif // RTGS_SLAM_MAP_WORKER_HH

@@ -76,14 +76,19 @@ Mapper::densify(const gs::RenderPipeline &pipeline,
 
 double
 Mapper::map(const gs::RenderPipeline &pipeline, gs::GaussianCloud &cloud,
-            const Intrinsics &intr, const MapIterationHook &hook)
+            const Intrinsics &intr, const MapIterationHook &hook,
+            u32 iteration_budget)
 {
     if (window_.empty() || cloud.empty())
         return 0;
 
+    u32 max_iters = config_.iterations;
+    if (iteration_budget > 0)
+        max_iters = std::min(max_iters, iteration_budget);
+
     optimizer_.ensureSize(cloud.size());
     double final_loss = 0;
-    for (u32 it = 0; it < config_.iterations; ++it) {
+    for (u32 it = 0; it < max_iters; ++it) {
         // Alternate between the newest keyframe (most relevant) and the
         // rest of the window (forgetting protection), MonoGS-style.
         const KeyframeRecord &kf =

@@ -89,11 +89,15 @@ class Mapper
      * Run the mapping iterations over the keyframe window, updating the
      * cloud in place.
      *
+     * @param iteration_budget cap on iterations for this keyframe (the
+     *        similarity gate's scaled budget); 0 keeps the configured
+     *        count. Never raises it above the configuration.
      * @return final loss over the most recent keyframe
      */
     double map(const gs::RenderPipeline &pipeline,
                gs::GaussianCloud &cloud, const Intrinsics &intr,
-               const MapIterationHook &hook = nullptr);
+               const MapIterationHook &hook = nullptr,
+               u32 iteration_budget = 0);
 
     /** Remove near-transparent Gaussians; returns how many were cut. */
     size_t pruneTransparent(gs::GaussianCloud &cloud);

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common/logging.hh"
-#include "image/resize.hh"
 
 namespace rtgs::slam
 {
@@ -121,6 +120,18 @@ SlamSystem::SlamSystem(const SlamConfig &config,
         keyframePolicy_ = std::make_unique<EveryFrameKeyframePolicy>();
         break;
     }
+
+    if (config.mapQueueDepth > 0) {
+        mapWorker_ = std::make_unique<MapWorker>(
+            config.mapQueueDepth, [this](MapJob &job) { runMapJob(job); });
+    }
+}
+
+void
+SlamSystem::waitForMapping()
+{
+    if (mapWorker_)
+        mapWorker_->drain();
 }
 
 void
@@ -322,98 +333,244 @@ SlamSystem::predictKeyframe(const data::Frame &frame) const
     return policy->isKeyframe(query);
 }
 
+SE3
+SlamSystem::stageTrack(const data::Frame &frame, Real tracking_scale,
+                       const FrameBudget *budget, FrameReport &report)
+{
+    if (!bootstrapped_) {
+        // Frame 0 anchors the world frame (standard SLAM convention).
+        bootstrapped_ = true;
+        return frame.gtPose;
+    }
+
+    SE3 guess = constantVelocityGuess();
+    StageProfiler::Scope scope(profiler_, "tracking");
+    auto t0 = std::chrono::steady_clock::now();
+    SE3 pose;
+    if (config_.algorithm == BaseAlgorithm::PhotoSlam) {
+        // Classical geometric backend: needs only the previous frame's
+        // depth, so it never touches the (possibly in-flight) map.
+        pose = geometricTrack(frame, guess);
+    } else {
+        PreprocessedObservation obs =
+            preprocessObservation(frame, intrinsics_, tracking_scale);
+        u32 track_budget = budget ? budget->trackIterations : 0;
+        TrackResult tr;
+        if (mapWorker_) {
+            // Async mode: render against the latest published snapshot
+            // so the map stage can mutate the authoritative cloud
+            // concurrently.
+            std::shared_ptr<const gs::GaussianCloud> snapshot =
+                snapshotCloud();
+            tr = tracker_.track(pipeline_, *snapshot, obs.intr, guess,
+                                obs.rgb(), &obs.depth(), trackHook_,
+                                track_budget);
+        } else {
+            tr = tracker_.track(pipeline_, cloud_, obs.intr, guess,
+                                obs.rgb(), &obs.depth(), trackHook_,
+                                track_budget);
+        }
+        pose = tr.pose;
+        report.trackLoss = tr.finalLoss;
+        report.trackIterations = tr.iterationsRun;
+        report.trackFragments = tr.totalFragments;
+    }
+    report.trackSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    return pose;
+}
+
+bool
+SlamSystem::stageKeyframeDecision(const data::Frame &frame,
+                                  const SE3 &pose,
+                                  const bool *force_keyframe)
+{
+    if (force_keyframe)
+        return frame.index == 0 || *force_keyframe;
+
+    // Keyframe decision uses the tracked pose and current image.
+    KeyframeQuery query;
+    query.frameIndex = frame.index;
+    query.lastKeyframeIndex = lastKeyframeIndex_;
+    query.currentPose = pose;
+    query.lastKeyframePose = lastKeyframePose_;
+    query.currentImage = &frame.rgb;
+    query.lastKeyframeImage =
+        lastKeyframeImage_.empty() ? nullptr : &lastKeyframeImage_;
+    return decideKeyframe(query);
+}
+
+double
+SlamSystem::mapKeyframe(KeyframeRecord record, u32 iteration_budget,
+                        size_t &densified)
+{
+    densified = mapper_.densify(pipeline_, cloud_, intrinsics_, record);
+    mapper_.addKeyframe(std::move(record));
+    double loss = mapper_.map(pipeline_, cloud_, intrinsics_, mapHook_,
+                              iteration_budget);
+    mapper_.pruneTransparent(cloud_);
+    return loss;
+}
+
+void
+SlamSystem::stageMapSync(const data::Frame &frame, const SE3 &pose,
+                         const FrameBudget *budget, FrameReport &report)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    StageProfiler::Scope scope(profiler_, "mapping");
+    report.mapLoss =
+        mapKeyframe(KeyframeRecord{frame.index, pose, frame.rgb,
+                                   frame.depth},
+                    budget ? budget->mapIterations : 0, report.densified);
+    lastKeyframeIndex_ = frame.index;
+    lastKeyframeImage_ = frame.rgb;
+    lastKeyframePose_ = pose;
+    report.mapSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+}
+
+void
+SlamSystem::stageEnqueueMap(const data::Frame &frame, const SE3 &pose,
+                            const FrameBudget *budget,
+                            size_t report_index)
+{
+    // Caller-side keyframe state is recorded at enqueue time, so the
+    // keyframe policy sees exactly what the sync path would show it.
+    lastKeyframeIndex_ = frame.index;
+    lastKeyframeImage_ = frame.rgb;
+    lastKeyframePose_ = pose;
+
+    MapJob job;
+    job.record = KeyframeRecord{frame.index, pose, frame.rgb, frame.depth};
+    job.mapIterationBudget = budget ? budget->mapIterations : 0;
+    job.reportIndex = report_index;
+    mapWorker_->enqueue(std::move(job));
+}
+
+void
+SlamSystem::runMapJob(MapJob &job)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    StageProfiler::Scope scope(profiler_, "mapping");
+
+    size_t densified, count, bytes;
+    double map_loss;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        map_loss = mapKeyframe(std::move(job.record),
+                               job.mapIterationBudget, densified);
+        count = cloud_.size();
+        bytes = cloud_.parameterBytes();
+        peakBytes_ = std::max(peakBytes_, bytes);
+
+        // Publish the finished map for tracking: an immutable snapshot
+        // swapped in under its own lock, so subsequent frames track
+        // against the newest *completed* map without ever waiting on an
+        // in-flight job. The copy runs here on the worker, overlapped
+        // with tracking.
+        auto snapshot = std::make_shared<const gs::GaussianCloud>(cloud_);
+        std::lock_guard<std::mutex> snap(snapshotMutex_);
+        trackingSnapshot_ = std::move(snapshot);
+    }
+    double seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+
+    std::lock_guard<std::mutex> lock(reportMutex_);
+    rtgs_assert(job.reportIndex < reports_.size());
+    FrameReport &row = reports_[job.reportIndex];
+    row.densified = densified;
+    row.mapLoss = map_loss;
+    row.mapSeconds = seconds;
+    row.gaussianCount = count;
+    row.gaussianBytes = bytes;
+}
+
+std::shared_ptr<const gs::GaussianCloud>
+SlamSystem::snapshotCloud()
+{
+    {
+        std::lock_guard<std::mutex> lock(snapshotMutex_);
+        if (trackingSnapshot_ && !trackingSnapshot_->empty())
+            return trackingSnapshot_;
+    }
+    // Bootstrap: the first keyframe's mapping may still be in flight;
+    // never track against an empty map when one is on the way.
+    waitForMapping();
+    std::lock_guard<std::mutex> lock(snapshotMutex_);
+    if (!trackingSnapshot_)
+        trackingSnapshot_ = std::make_shared<const gs::GaussianCloud>();
+    return trackingSnapshot_;
+}
+
 FrameReport
 SlamSystem::processFrame(const data::Frame &frame, Real tracking_scale,
-                         const bool *force_keyframe)
+                         const bool *force_keyframe,
+                         const FrameBudget *budget)
 {
     rtgs_assert(tracking_scale > 0 && tracking_scale <= 1);
     FrameReport report;
     report.frameIndex = frame.index;
-
-    SE3 pose;
-    if (!bootstrapped_) {
-        // Frame 0 anchors the world frame (standard SLAM convention).
-        pose = frame.gtPose;
-        bootstrapped_ = true;
-    } else {
-        SE3 guess = constantVelocityGuess();
-        StageProfiler::Scope scope(profiler_, "tracking");
-        auto t0 = std::chrono::steady_clock::now();
-        if (config_.algorithm == BaseAlgorithm::PhotoSlam) {
-            pose = geometricTrack(frame, guess);
-        } else {
-            const ImageRGB *rgb = &frame.rgb;
-            const ImageF *depth = &frame.depth;
-            ImageRGB scaled_rgb;
-            ImageF scaled_depth;
-            Intrinsics intr = intrinsics_;
-            if (tracking_scale < 1) {
-                intr = intrinsics_.scaled(tracking_scale);
-                scaled_rgb = resizeBox(frame.rgb, intr.width, intr.height);
-                // Depth uses nearest sampling: averaging across
-                // silhouettes invents phantom surfaces.
-                scaled_depth =
-                    resizeNearest(frame.depth, intr.width, intr.height);
-                rgb = &scaled_rgb;
-                depth = &scaled_depth;
-            }
-            TrackResult tr = tracker_.track(pipeline_, cloud_, intr,
-                                            guess, *rgb, depth,
-                                            trackHook_);
-            pose = tr.pose;
-            report.trackLoss = tr.finalLoss;
-        }
-        report.trackSeconds = std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - t0).count();
+    if (budget) {
+        report.trackIterationBudget = budget->trackIterations;
+        report.mapIterationBudget = budget->mapIterations;
     }
+
+    SE3 pose = stageTrack(frame, tracking_scale, budget, report);
     trajectory_.push_back(pose);
 
-    if (force_keyframe) {
-        report.isKeyframe = frame.index == 0 || *force_keyframe;
-    } else {
-        // Keyframe decision uses the tracked pose and current image.
-        KeyframeQuery query;
-        query.frameIndex = frame.index;
-        query.lastKeyframeIndex = lastKeyframeIndex_;
-        query.currentPose = pose;
-        query.lastKeyframePose = lastKeyframePose_;
-        query.currentImage = &frame.rgb;
-        query.lastKeyframeImage =
-            lastKeyframeImage_.empty() ? nullptr : &lastKeyframeImage_;
-        report.isKeyframe = decideKeyframe(query);
-    }
+    report.isKeyframe = stageKeyframeDecision(frame, pose, force_keyframe);
+    report.pose = pose;
 
-    if (report.isKeyframe) {
-        auto t0 = std::chrono::steady_clock::now();
-        StageProfiler::Scope scope(profiler_, "mapping");
-        KeyframeRecord record{frame.index, pose, frame.rgb, frame.depth};
-        report.densified =
-            mapper_.densify(pipeline_, cloud_, intrinsics_, record);
-        mapper_.addKeyframe(std::move(record));
-        report.mapLoss =
-            mapper_.map(pipeline_, cloud_, intrinsics_, mapHook_);
-        mapper_.pruneTransparent(cloud_);
-        lastKeyframeIndex_ = frame.index;
-        lastKeyframeImage_ = frame.rgb;
-        lastKeyframePose_ = pose;
-        report.mapSeconds = std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - t0).count();
-    }
+    bool async_map = report.isKeyframe && mapWorker_ != nullptr;
+    if (report.isKeyframe && !async_map)
+        stageMapSync(frame, pose, budget, report);
+    report.mappedAsync = async_map;
 
     prevDepth_ = frame.depth;
     prevPose_ = pose;
 
-    report.pose = pose;
-    report.gaussianCount = cloud_.size();
-    report.gaussianBytes = cloud_.parameterBytes();
-    peakBytes_ = std::max(peakBytes_, report.gaussianBytes);
-    reports_.push_back(report);
+    if (!mapWorker_) {
+        report.gaussianCount = cloud_.size();
+        report.gaussianBytes = cloud_.parameterBytes();
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        peakBytes_ = std::max(peakBytes_, report.gaussianBytes);
+    } else {
+        // Async: never touch stateMutex_ from the frame loop (an
+        // in-flight job holds it for its whole duration). Report the
+        // latest *published* map's footprint; keyframe rows get their
+        // exact post-map numbers from the worker, and the worker also
+        // maintains the peak.
+        std::shared_ptr<const gs::GaussianCloud> snap;
+        {
+            std::lock_guard<std::mutex> lock(snapshotMutex_);
+            snap = trackingSnapshot_;
+        }
+        if (snap) {
+            report.gaussianCount = snap->size();
+            report.gaussianBytes = snap->parameterBytes();
+        }
+    }
+
+    size_t report_index;
+    {
+        std::lock_guard<std::mutex> lock(reportMutex_);
+        report_index = reports_.size();
+        reports_.push_back(report);
+    }
+
+    if (async_map) {
+        stageEnqueueMap(frame, pose, budget, report_index);
+        // The job may already have completed; return the freshest view.
+        std::lock_guard<std::mutex> lock(reportMutex_);
+        return reports_[report_index];
+    }
     return report;
 }
 
 ImageRGB
 SlamSystem::renderView(const SE3 &pose) const
 {
+    std::lock_guard<std::mutex> lock(stateMutex_);
     Camera cam(intrinsics_, pose);
     gs::ForwardContext ctx = pipeline_.forward(cloud_, cam);
     return ctx.result.image;

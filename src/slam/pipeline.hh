@@ -19,11 +19,14 @@
 #define RTGS_SLAM_PIPELINE_HH
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "data/dataset.hh"
 #include "slam/keyframe.hh"
+#include "slam/map_worker.hh"
 #include "slam/mapper.hh"
+#include "slam/preprocess.hh"
 #include "slam/profiler.hh"
 #include "slam/tracker.hh"
 
@@ -54,8 +57,29 @@ struct SlamConfig
     /** Pixel stride for ICP point sampling. */
     u32 icpStride = 4;
 
+    /**
+     * Asynchronous-mapping queue depth. 0 (the default) runs mapping
+     * synchronously inside processFrame, exactly reproducing the
+     * monolithic loop; >= 1 runs keyframe mapping on the shared
+     * ThreadPool behind a bounded queue of this depth, overlapping it
+     * with the tracking of subsequent frames. See src/slam/README.md
+     * for the threading/ownership model.
+     */
+    u32 mapQueueDepth = 0;
+
     /** Build the per-profile default configuration. */
     static SlamConfig forAlgorithm(BaseAlgorithm algo);
+};
+
+/**
+ * Per-frame iteration budgets, produced by the similarity gate
+ * (core::SimilarityGate). 0 means "use the configured count"; non-zero
+ * values only ever lower the configured count, never raise it.
+ */
+struct FrameBudget
+{
+    u32 trackIterations = 0;
+    u32 mapIterations = 0;
 };
 
 /** Per-frame outcome report. */
@@ -71,11 +95,36 @@ struct FrameReport
     size_t densified = 0;
     double trackSeconds = 0;
     double mapSeconds = 0;
+
+    // Staged-pipeline observability.
+    u32 trackIterations = 0;       //!< tracking iterations executed
+    u32 trackIterationBudget = 0;  //!< gated budget applied (0 = config)
+    u32 mapIterationBudget = 0;    //!< gated budget applied (0 = config)
+    u64 trackFragments = 0;        //!< fragments summed over iterations
+    /**
+     * True when this keyframe's mapping was deferred to the async
+     * worker; mapLoss / densified / mapSeconds / gaussianCount are
+     * filled in once the job completes (guaranteed after
+     * waitForMapping()).
+     */
+    bool mappedAsync = false;
 };
 
 /**
- * The SLAM system. Feed frames in order via processFrame(); read the
- * trajectory, map, and reports afterwards.
+ * The SLAM system, organised as an explicit stage graph per frame:
+ *
+ *   preprocess -> track -> keyframe decision -> enqueue-map -> map
+ *
+ * With config.mapQueueDepth == 0 every stage runs inline on the caller
+ * thread, byte-identical to the original monolithic loop. With a
+ * positive depth the map stage runs asynchronously on the shared
+ * ThreadPool behind a bounded keyframe queue; tracking then renders
+ * against a snapshot of the map taken under the state lock. In async
+ * mode, call waitForMapping() before reading cloud()/reports() (the
+ * map-iteration hook also fires on a pool worker then).
+ *
+ * Feed frames in order via processFrame(); read the trajectory, map,
+ * and reports afterwards.
  */
 class SlamSystem
 {
@@ -91,8 +140,21 @@ class SlamSystem
     StageProfiler &profiler() { return profiler_; }
     Mapper &mapper() { return mapper_; }
 
+    /**
+     * Block until every enqueued mapping job has completed. No-op in
+     * sync mode. Call before reading the cloud, reports, or rendering
+     * when mapQueueDepth > 0.
+     */
+    void waitForMapping();
+
     /** Largest Gaussian-parameter footprint seen so far (bytes). */
-    size_t peakGaussianBytes() const { return peakBytes_; }
+    size_t
+    peakGaussianBytes() const
+    {
+        // Async map jobs update the peak under the state lock.
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        return peakBytes_;
+    }
 
     /** Per-iteration observers (RTGS pruning / HW trace capture). */
     void setTrackIterationHook(TrackIterationHook hook);
@@ -106,11 +168,15 @@ class SlamSystem
      * @param force_keyframe when non-null, overrides the keyframe
      *        policy with the given decision (RTGS decides keyframe
      *        status before tracking so downsampling can reuse it)
-     * @return report for this frame
+     * @param budget optional per-frame iteration budgets from the
+     *        similarity gate; null keeps the configured counts
+     * @return report for this frame (see FrameReport::mappedAsync for
+     *         which fields may still be pending in async mode)
      */
     FrameReport processFrame(const data::Frame &frame,
                              Real tracking_scale = Real(1),
-                             const bool *force_keyframe = nullptr);
+                             const bool *force_keyframe = nullptr,
+                             const FrameBudget *budget = nullptr);
 
     /**
      * Predict the keyframe decision for the upcoming frame before
@@ -133,6 +199,42 @@ class SlamSystem
     /** Photo-SLAM-style classical tracking: projective point ICP. */
     SE3 geometricTrack(const data::Frame &frame, const SE3 &init) const;
 
+    // ------------------------------------------------- frame stages
+    /** Preprocess + track: returns the frame's pose estimate. */
+    SE3 stageTrack(const data::Frame &frame, Real tracking_scale,
+                   const FrameBudget *budget, FrameReport &report);
+
+    /** Keyframe decision from the tracked pose / policy override. */
+    bool stageKeyframeDecision(const data::Frame &frame, const SE3 &pose,
+                               const bool *force_keyframe);
+
+    /** Synchronous map stage (mapQueueDepth == 0). */
+    void stageMapSync(const data::Frame &frame, const SE3 &pose,
+                      const FrameBudget *budget, FrameReport &report);
+
+    /** Enqueue-map stage: defer the map work to the bounded queue. */
+    void stageEnqueueMap(const data::Frame &frame, const SE3 &pose,
+                         const FrameBudget *budget, size_t report_index);
+
+    /** Map stage body executed on a pool worker (async mode). */
+    void runMapJob(MapJob &job);
+
+    /**
+     * The mapping recipe shared by the sync and async paths: densify,
+     * admit the keyframe to the window, optimise, prune transparent.
+     * Caller must hold whatever lock protects cloud_/mapper_ access.
+     */
+    double mapKeyframe(KeyframeRecord record, u32 iteration_budget,
+                       size_t &densified);
+
+    /**
+     * Latest published map snapshot for lock-free tracking (async
+     * mode). Map jobs publish a fresh immutable snapshot when they
+     * complete, so tracking never waits on an in-flight job (it reads
+     * the newest finished map) and never copies the cloud itself.
+     */
+    std::shared_ptr<const gs::GaussianCloud> snapshotCloud();
+
     SlamConfig config_;
     Intrinsics intrinsics_;
     gs::RenderPipeline pipeline_;
@@ -153,6 +255,17 @@ class SlamSystem
     ImageF prevDepth_;
     SE3 prevPose_;
     bool bootstrapped_ = false;
+
+    /** Guards cloud_, mapper_, peakBytes_ against the async map stage. */
+    mutable std::mutex stateMutex_;
+    /** Guards reports_ (caller pushes rows, the worker fills them in). */
+    mutable std::mutex reportMutex_;
+    /** Guards trackingSnapshot_ (published by map jobs, read by track). */
+    mutable std::mutex snapshotMutex_;
+    std::shared_ptr<const gs::GaussianCloud> trackingSnapshot_;
+    /** Async map executor; null in sync mode. Declared last so its
+     *  destructor drains in-flight jobs before members are torn down. */
+    std::unique_ptr<MapWorker> mapWorker_;
 };
 
 } // namespace rtgs::slam

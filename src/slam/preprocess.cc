@@ -1,0 +1,30 @@
+#include "slam/preprocess.hh"
+
+#include "common/logging.hh"
+#include "image/resize.hh"
+
+namespace rtgs::slam
+{
+
+PreprocessedObservation
+preprocessObservation(const data::Frame &frame, const Intrinsics &native,
+                      Real tracking_scale)
+{
+    rtgs_assert(tracking_scale > 0 && tracking_scale <= 1);
+    PreprocessedObservation obs;
+    obs.frame = &frame;
+    obs.scale = tracking_scale;
+    obs.intr = native;
+    if (tracking_scale < 1) {
+        obs.intr = native.scaled(tracking_scale);
+        obs.scaledRgb = resizeBox(frame.rgb, obs.intr.width,
+                                  obs.intr.height);
+        // Depth uses nearest sampling: averaging across silhouettes
+        // invents phantom surfaces.
+        obs.scaledDepth = resizeNearest(frame.depth, obs.intr.width,
+                                        obs.intr.height);
+    }
+    return obs;
+}
+
+} // namespace rtgs::slam

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The preprocess stage of the frame pipeline: build the (possibly
+ * downsampled) observation the tracking stage optimises against.
+ *
+ * RTGS's dynamic downsampling (Sec. 4.2) tracks non-keyframes at a
+ * reduced resolution; this stage owns the resampling rules — box
+ * filtering for colour, nearest for depth (averaging across silhouettes
+ * invents phantom surfaces) — so the tracking stage only ever sees a
+ * ready observation.
+ */
+
+#ifndef RTGS_SLAM_PREPROCESS_HH
+#define RTGS_SLAM_PREPROCESS_HH
+
+#include "data/dataset.hh"
+#include "geometry/camera.hh"
+
+namespace rtgs::slam
+{
+
+/**
+ * A tracking-ready observation. Holds scaled image storage only when
+ * downsampling actually happened; rgb()/depth() always return the
+ * correct view. Keeps a pointer to the source frame, so it must not
+ * outlive it (it lives for one pipeline pass).
+ */
+struct PreprocessedObservation
+{
+    Intrinsics intr;        //!< intrinsics at the tracking resolution
+    Real scale = Real(1);   //!< linear scale actually applied
+
+    const data::Frame *frame = nullptr;
+    ImageRGB scaledRgb;     //!< empty when tracking at native resolution
+    ImageF scaledDepth;
+
+    const ImageRGB &
+    rgb() const
+    {
+        return scaledRgb.empty() ? frame->rgb : scaledRgb;
+    }
+
+    const ImageF &
+    depth() const
+    {
+        return scaledDepth.empty() ? frame->depth : scaledDepth;
+    }
+};
+
+/**
+ * Stage 1: resample the observation for tracking. `tracking_scale` in
+ * (0, 1]; 1 keeps the native images untouched (and allocation-free).
+ */
+PreprocessedObservation preprocessObservation(const data::Frame &frame,
+                                              const Intrinsics &native,
+                                              Real tracking_scale);
+
+} // namespace rtgs::slam
+
+#endif // RTGS_SLAM_PREPROCESS_HH

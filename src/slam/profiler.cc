@@ -19,12 +19,14 @@ StageProfiler::Scope::~Scope()
 void
 StageProfiler::add(const std::string &stage, double seconds)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     stages_[stage] += seconds;
 }
 
 double
 StageProfiler::seconds(const std::string &stage) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = stages_.find(stage);
     return it == stages_.end() ? 0.0 : it->second;
 }
@@ -32,10 +34,25 @@ StageProfiler::seconds(const std::string &stage) const
 double
 StageProfiler::totalSeconds() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     double t = 0;
     for (const auto &[_, s] : stages_)
         t += s;
     return t;
+}
+
+std::map<std::string, double>
+StageProfiler::stages() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stages_;
+}
+
+void
+StageProfiler::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stages_.clear();
 }
 
 double

@@ -11,12 +11,18 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace rtgs::slam
 {
 
-/** Accumulates wall-clock seconds per named stage. */
+/**
+ * Accumulates wall-clock seconds per named stage. Thread-safe: with the
+ * staged pipeline, tracking scopes close on the frame-loop thread while
+ * mapping scopes close on pool workers, so the accumulator map is
+ * guarded by a mutex.
+ */
 class StageProfiler
 {
   public:
@@ -47,11 +53,13 @@ class StageProfiler
     /** Fraction of total time spent in a stage. */
     double fraction(const std::string &stage) const;
 
-    const std::map<std::string, double> &stages() const { return stages_; }
+    /** Snapshot of all stage accumulators. */
+    std::map<std::string, double> stages() const;
 
-    void clear() { stages_.clear(); }
+    void clear();
 
   private:
+    mutable std::mutex mutex_;
     std::map<std::string, double> stages_;
 };
 

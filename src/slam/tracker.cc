@@ -12,10 +12,15 @@ TrackResult
 Tracker::track(const gs::RenderPipeline &pipeline,
                const gs::GaussianCloud &cloud, const Intrinsics &intr,
                const SE3 &init_pose, const ImageRGB &rgb,
-               const ImageF *depth, const TrackIterationHook &hook) const
+               const ImageF *depth, const TrackIterationHook &hook,
+               u32 iteration_budget) const
 {
+    u32 max_iters = config_.iterations;
+    if (iteration_budget > 0)
+        max_iters = std::min(max_iters, iteration_budget);
+
     TrackResult result;
-    result.lossHistory.reserve(config_.iterations);
+    result.lossHistory.reserve(max_iters);
 
     SE3 pose = init_pose;
     SE3 best_pose = init_pose;
@@ -24,7 +29,7 @@ Tracker::track(const gs::RenderPipeline &pipeline,
     Real decay = Real(1);
     PoseOptimizer optimizer(config_.lrTranslation, config_.lrRotation);
 
-    for (u32 it = 0; it < config_.iterations; ++it) {
+    for (u32 it = 0; it < max_iters; ++it) {
         // Decayed learning rates damp the wander Adam's near-constant
         // step size causes once the loss floor is reached.
         optimizer.setLearningRates(config_.lrTranslation * decay,

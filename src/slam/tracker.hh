@@ -83,12 +83,16 @@ class Tracker
      * @param rgb        observed colour at the same resolution
      * @param depth      observed depth, or nullptr for RGB-only
      * @param hook       optional per-iteration observer
+     * @param iteration_budget cap on iterations for this frame (the
+     *        similarity gate's scaled budget); 0 keeps the configured
+     *        count. Never raises it above the configuration.
      */
     TrackResult track(const gs::RenderPipeline &pipeline,
                       const gs::GaussianCloud &cloud,
                       const Intrinsics &intr, const SE3 &init_pose,
                       const ImageRGB &rgb, const ImageF *depth,
-                      const TrackIterationHook &hook = nullptr) const;
+                      const TrackIterationHook &hook = nullptr,
+                      u32 iteration_budget = 0) const;
 
   private:
     TrackerConfig config_;

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the staged asynchronous SLAM loop: sync mode (queue depth
+ * 0) must be byte-identical to a drained async run across all four
+ * base-algorithm profiles (the async machinery must be numerically
+ * transparent), and overlapped async runs must complete with usable
+ * results and fully filled reports after draining.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "slam/evaluation.hh"
+#include "slam/pipeline.hh"
+
+namespace rtgs::slam
+{
+
+namespace
+{
+
+data::DatasetSpec
+tinySpec()
+{
+    data::DatasetSpec spec = data::DatasetSpec::tumLike(Real(0.15));
+    spec.scene.surfelSpacing = Real(0.28);
+    spec.trajectory.frameCount = 10;
+    spec.trajectory.revolutions = Real(0.06);
+    spec.noise.enabled = false;
+    return spec;
+}
+
+data::SyntheticDataset &
+tinyDataset()
+{
+    static data::SyntheticDataset ds(tinySpec());
+    return ds;
+}
+
+SlamConfig
+fastConfig(BaseAlgorithm algo)
+{
+    SlamConfig cfg = SlamConfig::forAlgorithm(algo);
+    cfg.tracker.iterations = 10;
+    cfg.mapper.iterations = 12;
+    cfg.kfInterval = 4;
+    return cfg;
+}
+
+/** Byte-compare two SE3 sequences. */
+bool
+trajectoriesIdentical(const std::vector<SE3> &a, const std::vector<SE3> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::memcmp(&a[i].rot, &b[i].rot, sizeof(a[i].rot)) != 0 ||
+            std::memcmp(&a[i].trans, &b[i].trans, sizeof(a[i].trans)) !=
+                0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Byte-compare the parameter arrays of two clouds. */
+bool
+cloudsIdentical(const gs::GaussianCloud &a, const gs::GaussianCloud &b)
+{
+    auto eq = [](const auto &u, const auto &v) {
+        using T = typename std::decay_t<decltype(u)>::value_type;
+        return u.size() == v.size() &&
+               (u.empty() ||
+                std::memcmp(u.data(), v.data(), u.size() * sizeof(T)) ==
+                    0);
+    };
+    return eq(a.positions, b.positions) && eq(a.logScales, b.logScales) &&
+           eq(a.rotations, b.rotations) &&
+           eq(a.opacityLogits, b.opacityLogits) &&
+           eq(a.shCoeffs, b.shCoeffs) && eq(a.active, b.active);
+}
+
+} // namespace
+
+TEST(AsyncSlam, SyncModeIdenticalToDrainedAsyncOnAllProfiles)
+{
+    // The determinism guard for the staged refactor: a drained async
+    // run (queue depth 2, waitForMapping after every frame) performs
+    // exactly the stage sequence of the sync loop, so trajectories and
+    // maps must match bit for bit on every base-algorithm profile.
+    auto &ds = tinyDataset();
+    const BaseAlgorithm algos[] = {BaseAlgorithm::GsSlam,
+                                   BaseAlgorithm::MonoGs,
+                                   BaseAlgorithm::PhotoSlam,
+                                   BaseAlgorithm::SplaTam};
+    for (auto algo : algos) {
+        SlamConfig sync_cfg = fastConfig(algo);
+        sync_cfg.mapQueueDepth = 0;
+        SlamSystem sync_sys(sync_cfg, ds.intrinsics());
+
+        SlamConfig async_cfg = fastConfig(algo);
+        async_cfg.mapQueueDepth = 2;
+        SlamSystem async_sys(async_cfg, ds.intrinsics());
+
+        for (u32 f = 0; f < ds.frameCount(); ++f) {
+            sync_sys.processFrame(ds.frame(f));
+            async_sys.processFrame(ds.frame(f));
+            async_sys.waitForMapping();
+        }
+
+        EXPECT_TRUE(trajectoriesIdentical(sync_sys.trajectory(),
+                                          async_sys.trajectory()))
+            << algorithmName(algo) << ": trajectories diverged";
+        EXPECT_TRUE(cloudsIdentical(sync_sys.cloud(), async_sys.cloud()))
+            << algorithmName(algo) << ": maps diverged";
+    }
+}
+
+TEST(AsyncSlam, OverlappedAsyncCompletesWithUsableResults)
+{
+    // Fully overlapped: no drain between frames, mapping runs behind
+    // tracking. Results may differ numerically from sync (tracking sees
+    // a slightly stale map) but must stay usable.
+    auto &ds = tinyDataset();
+    SlamConfig cfg = fastConfig(BaseAlgorithm::MonoGs);
+    cfg.mapQueueDepth = 2;
+    SlamSystem system(cfg, ds.intrinsics());
+    for (u32 f = 0; f < ds.frameCount(); ++f)
+        system.processFrame(ds.frame(f));
+    system.waitForMapping();
+
+    ASSERT_EQ(system.trajectory().size(), ds.frameCount());
+    EXPECT_GT(system.cloud().size(), 100u);
+
+    std::vector<SE3> gt;
+    for (u32 f = 0; f < ds.frameCount(); ++f)
+        gt.push_back(ds.gtPose(f));
+    AteResult ate = computeAte(system.trajectory(), gt);
+    EXPECT_LT(ate.rmse, 0.15)
+        << "overlapped mapping must not destroy tracking";
+}
+
+TEST(AsyncSlam, ReportsFilledAfterDrain)
+{
+    auto &ds = tinyDataset();
+    SlamConfig cfg = fastConfig(BaseAlgorithm::MonoGs);
+    cfg.mapQueueDepth = 1;
+    SlamSystem system(cfg, ds.intrinsics());
+    for (u32 f = 0; f < ds.frameCount(); ++f)
+        system.processFrame(ds.frame(f));
+    system.waitForMapping();
+
+    size_t keyframes = 0;
+    for (const auto &r : system.reports()) {
+        if (!r.isKeyframe)
+            continue;
+        ++keyframes;
+        EXPECT_TRUE(r.mappedAsync) << "frame " << r.frameIndex;
+        EXPECT_GT(r.mapLoss, 0.0)
+            << "frame " << r.frameIndex
+            << ": drained keyframe must have its map loss filled in";
+        EXPECT_GT(r.gaussianCount, 0u);
+    }
+    EXPECT_GE(keyframes, ds.frameCount() / 4);
+    // Frame 0 seeds the map.
+    EXPECT_GT(system.reports().front().densified, 50u);
+
+    // Async mapping must record its stage time from the worker thread.
+    EXPECT_GT(system.profiler().seconds("mapping"), 0.0);
+    EXPECT_GT(system.profiler().seconds("tracking"), 0.0);
+}
+
+TEST(AsyncSlam, FrameBudgetCapsTrackingIterations)
+{
+    auto &ds = tinyDataset();
+    SlamConfig cfg = fastConfig(BaseAlgorithm::MonoGs);
+    cfg.tracker.earlyStop = false; // isolate the budget's effect
+    SlamSystem system(cfg, ds.intrinsics());
+    system.processFrame(ds.frame(0));
+
+    FrameBudget budget;
+    budget.trackIterations = 3;
+    FrameReport r =
+        system.processFrame(ds.frame(1), Real(1), nullptr, &budget);
+    EXPECT_EQ(r.trackIterations, 3u);
+    EXPECT_EQ(r.trackIterationBudget, 3u);
+
+    // Unbudgeted frame runs the full configured count.
+    FrameReport r2 = system.processFrame(ds.frame(2));
+    EXPECT_EQ(r2.trackIterations, cfg.tracker.iterations);
+    EXPECT_EQ(r2.trackIterationBudget, 0u);
+}
+
+TEST(AsyncSlam, BudgetNeverRaisesConfiguredIterations)
+{
+    auto &ds = tinyDataset();
+    SlamConfig cfg = fastConfig(BaseAlgorithm::MonoGs);
+    cfg.tracker.iterations = 4;
+    cfg.tracker.earlyStop = false;
+    SlamSystem system(cfg, ds.intrinsics());
+    system.processFrame(ds.frame(0));
+    FrameBudget budget;
+    budget.trackIterations = 50;
+    FrameReport r =
+        system.processFrame(ds.frame(1), Real(1), nullptr, &budget);
+    EXPECT_EQ(r.trackIterations, 4u);
+}
+
+} // namespace rtgs::slam

@@ -10,8 +10,11 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "common/bounded_queue.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -266,6 +269,83 @@ TEST(ThreadPool, OnWorkerThreadDetection)
     });
     EXPECT_EQ(cross_claims.load(), 0);
     EXPECT_FALSE(pool.onWorkerThread());
+}
+
+TEST(ThreadPool, SubmitRunsTaskAndFulfillsFuture)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    auto f1 = pool.submit([&] { ran++; });
+    auto f2 = pool.submit([&] { ran++; });
+    f1.wait();
+    f2.wait();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(1);
+    auto f = pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.push(i));
+    for (int i = 0; i < 5; ++i) {
+        int v = -1;
+        EXPECT_TRUE(q.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPopOnEmptyFails)
+{
+    BoundedQueue<int> q(2);
+    int v = 0;
+    EXPECT_FALSE(q.tryPop(v));
+}
+
+TEST(BoundedQueue, PushBlocksAtCapacityUntilPop)
+{
+    BoundedQueue<int> q(1);
+    EXPECT_TRUE(q.push(1));
+    std::atomic<bool> second_pushed{false};
+    std::thread producer([&] {
+        q.push(2); // blocks until the consumer pops
+        second_pushed = true;
+    });
+    // The producer must be parked on the full queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(second_pushed.load());
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    producer.join();
+    EXPECT_TRUE(second_pushed.load());
+    EXPECT_TRUE(q.tryPop(v));
+    EXPECT_EQ(v, 2);
+}
+
+TEST(BoundedQueue, CloseWakesProducerAndDrainsConsumer)
+{
+    BoundedQueue<int> q(1);
+    EXPECT_TRUE(q.push(7));
+    std::thread producer([&] {
+        int v = 99;
+        // Full queue: this push parks, then fails once closed.
+        EXPECT_FALSE(q.push(v));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    producer.join();
+    int v = 0;
+    EXPECT_TRUE(q.pop(v)); // closed queues still drain
+    EXPECT_EQ(v, 7);
+    EXPECT_FALSE(q.pop(v)); // and then report exhaustion
 }
 
 } // namespace rtgs

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/rtgs_slam.hh"
+#include "image/metrics.hh"
 #include "slam/evaluation.hh"
 
 namespace rtgs::core
@@ -187,6 +188,146 @@ TEST(RtgsSlamTest, WorksWithGsSlamProfile)
     auto ate = slam::computeAte(rtgs.system().trajectory(),
                                 gtTrajectory());
     EXPECT_LT(ate.rmse, 0.3) << "plug-and-play on GS-SLAM profile";
+}
+
+TEST(RtgsSlamTest, TamingSurvivesDensificationGrowth)
+{
+    // Regression for the scores.resize growth path: SplaTAM-like bases
+    // densify on every frame, so the cloud grows after the scorer
+    // observed this frame's tracking gradients; the prune step then
+    // pads the missing trend scores with zeros. The sequence must stay
+    // consistent (no out-of-bounds, keep mask sized to the cloud).
+    auto &ds = tinyDataset();
+    RtgsSlamConfig cfg = fastConfig();
+    cfg.base = slam::SlamConfig::forAlgorithm(slam::BaseAlgorithm::SplaTam);
+    cfg.base.tracker.iterations = 6;
+    cfg.base.mapper.iterations = 6;
+    cfg.enableDownsampling = false;
+    cfg.pruneMethod = PruneMethod::Taming;
+
+    RtgsSlam rtgs(cfg, ds.intrinsics());
+    size_t grads_seen = 0;
+    bool growth_path_hit = false;
+    rtgs.setExternalTrackHook(
+        [&](const slam::TrackIterationContext &ctx) {
+            grads_seen = ctx.backward->grads.size();
+        });
+    for (u32 f = 0; f < ds.frameCount(); ++f) {
+        auto r = rtgs.processFrame(ds.frame(f));
+        // Densification during this frame's mapping grew the cloud past
+        // the gradient vectors the scorer observed during tracking.
+        if (f > 0 && r.base.gaussianCount > grads_seen)
+            growth_path_hit = true;
+        EXPECT_EQ(rtgs.system().cloud().active.size(),
+                  rtgs.system().cloud().size());
+    }
+    EXPECT_TRUE(growth_path_hit)
+        << "fixture must exercise scores-shorter-than-cloud";
+    EXPECT_GE(rtgs.system().cloud().size(), 64u)
+        << "taming floor must hold";
+}
+
+TEST(RtgsSlamTest, GatingSkipsIterationsOnNearStaticSequence)
+{
+    // Acceptance criterion: on a near-static sequence the similarity
+    // gate must skip >= 40% of tracking iterations while final PSNR
+    // degrades by < 0.5 dB (paper Fig. 5 / Sec. 3 frame-level
+    // redundancy).
+    data::DatasetSpec spec = tinySpec();
+    spec.trajectory.revolutions = Real(0.002); // ~1-2 mm/frame motion
+    data::SyntheticDataset ds(spec);
+
+    auto run = [&](bool gated) {
+        RtgsSlamConfig cfg = fastConfig();
+        cfg.enablePruning = false;
+        cfg.enableDownsampling = false;
+        cfg.gate.enabled = gated;
+        RtgsSlam rtgs(cfg, ds.intrinsics());
+        for (u32 f = 0; f < ds.frameCount(); ++f)
+            rtgs.processFrame(ds.frame(f));
+        u64 iters = 0;
+        for (const auto &r : rtgs.reports())
+            iters += r.base.trackIterations;
+        u32 mid = ds.frameCount() / 2;
+        double quality = psnr(rtgs.system().renderView(ds.gtPose(mid)),
+                              ds.frame(mid).rgb);
+        return std::make_pair(iters, quality);
+    };
+
+    auto [iters_full, psnr_full] = run(false);
+    auto [iters_gated, psnr_gated] = run(true);
+
+    ASSERT_GT(iters_full, 0u);
+    double skipped = 1.0 - static_cast<double>(iters_gated) /
+                               static_cast<double>(iters_full);
+    EXPECT_GE(skipped, 0.40)
+        << "gate must skip >= 40% of tracking iterations "
+        << "(full=" << iters_full << " gated=" << iters_gated << ")";
+    EXPECT_GT(psnr_gated, psnr_full - 0.5)
+        << "gating must not cost more than 0.5 dB";
+}
+
+TEST(RtgsSlamTest, GateReportsFlowThroughReports)
+{
+    auto &ds = tinyDataset();
+    RtgsSlamConfig cfg = fastConfig();
+    cfg.enablePruning = false;
+    cfg.enableDownsampling = false;
+    cfg.gate.enabled = true;
+    RtgsSlam rtgs(cfg, ds.intrinsics());
+    for (u32 f = 0; f < ds.frameCount(); ++f)
+        rtgs.processFrame(ds.frame(f));
+
+    const auto &reports = rtgs.reports();
+    ASSERT_EQ(reports.size(), ds.frameCount());
+    EXPECT_FALSE(reports.front().gate.gated) << "frame 0 has no history";
+    for (const auto &r : reports) {
+        EXPECT_GE(r.gate.budgetScale, cfg.gate.minBudgetScale);
+        EXPECT_LE(r.gate.budgetScale, Real(1));
+        if (r.gatedTrackIterations > 0)
+            EXPECT_TRUE(r.gate.gated);
+    }
+}
+
+TEST(RtgsSlamTest, AsyncReportsBackfilledByFinish)
+{
+    // With async mapping (pruning off, so the queue depth survives the
+    // sanitiser), finish() must refresh this layer's report copies with
+    // the completed map results.
+    auto &ds = tinyDataset();
+    RtgsSlamConfig cfg = fastConfig();
+    cfg.enablePruning = false;
+    cfg.enableDownsampling = false;
+    cfg.base.mapQueueDepth = 2;
+    RtgsSlam rtgs(cfg, ds.intrinsics());
+    for (u32 f = 0; f < ds.frameCount(); ++f)
+        rtgs.processFrame(ds.frame(f));
+    rtgs.finish();
+
+    size_t keyframes = 0;
+    for (const auto &r : rtgs.reports()) {
+        if (!r.base.isKeyframe)
+            continue;
+        ++keyframes;
+        EXPECT_TRUE(r.base.mappedAsync);
+        EXPECT_GT(r.base.mapLoss, 0.0) << "frame " << r.base.frameIndex;
+        EXPECT_GT(r.base.gaussianCount, 0u);
+    }
+    EXPECT_GE(keyframes, 3u);
+}
+
+TEST(RtgsSlamTest, PruningForcesSynchronousMapping)
+{
+    auto &ds = tinyDataset();
+    RtgsSlamConfig cfg = fastConfig(); // pruning enabled
+    cfg.base.mapQueueDepth = 2;
+    RtgsSlam rtgs(cfg, ds.intrinsics());
+    EXPECT_EQ(rtgs.config().base.mapQueueDepth, 0u)
+        << "async mapping must be clamped while pruning is active";
+    for (u32 f = 0; f < 4; ++f)
+        rtgs.processFrame(ds.frame(f));
+    for (const auto &r : rtgs.reports())
+        EXPECT_FALSE(r.base.mappedAsync);
 }
 
 TEST(RtgsSlamTest, MaskedGaussiansExcludedFromRender)

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "common/rng.hh"
 #include "slam/evaluation.hh"
@@ -319,6 +321,27 @@ TEST(Profiler, ScopeMeasuresTime)
             x = x + 1;
     }
     EXPECT_GT(prof.seconds("work"), 0.0);
+}
+
+TEST(Profiler, ConcurrentScopesRecordSafely)
+{
+    // With async mapping, tracking scopes close on the frame loop while
+    // mapping scopes close on pool workers; the accumulators must take
+    // every update (checked under TSan in CI).
+    StageProfiler prof;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&prof, t] {
+            const char *stage = t % 2 == 0 ? "tracking" : "mapping";
+            for (int i = 0; i < 500; ++i)
+                prof.add(stage, 0.001);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_NEAR(prof.seconds("tracking"), 1.0, 1e-9);
+    EXPECT_NEAR(prof.seconds("mapping"), 1.0, 1e-9);
+    EXPECT_EQ(prof.stages().size(), 2u);
 }
 
 } // namespace rtgs::slam
