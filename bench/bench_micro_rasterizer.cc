@@ -131,8 +131,26 @@ BM_Backward(benchmark::State &state)
     gs::RenderPipeline pipe(f.settings);
     auto ctx = pipe.forward(f.cloud, f.camera);
     ImageRGB adj(320, 240, {0.3f, -0.2f, 0.1f});
+    gs::BackwardResult back;
     for (auto _ : state) {
-        auto back = pipe.backward(f.cloud, ctx, adj, nullptr, true);
+        pipe.backward(f.cloud, ctx, adj, nullptr, true, back);
+        benchmark::DoNotOptimize(back.grads.dPositions.data());
+    }
+}
+
+void
+BM_BackwardSeed(benchmark::State &state)
+{
+    // The seed's serial pixel-major walk, kept in gs/backward.hh as the
+    // golden reference.
+    Fixture &f = fixtureFor(spacingForRange(state.range(0)));
+    gs::RenderPipeline pipe(f.settings);
+    auto ctx = pipe.forward(f.cloud, f.camera);
+    ImageRGB adj(320, 240, {0.3f, -0.2f, 0.1f});
+    for (auto _ : state) {
+        auto back = gs::backwardFull(f.cloud, ctx.projected, ctx.bins,
+                                     ctx.grid, f.settings, ctx.result,
+                                     f.camera, adj, nullptr, true);
         benchmark::DoNotOptimize(back.grads.dPositions.data());
     }
 }
@@ -146,6 +164,8 @@ BENCHMARK(BM_ForwardRaster)->DenseRange(0, 2)
 BENCHMARK(BM_ForwardRasterSeed)->DenseRange(0, 2)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Backward)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BackwardSeed)->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond);
 
 // ------------------------------------------------------------------
 // Seed-vs-RTGS head-to-head, written to BENCH_micro_rasterizer.json.
@@ -187,8 +207,194 @@ timeMs(Fn &&fn, int reps, double &wall_ms, double &cpu_ms)
     }
 }
 
+/**
+ * Double-precision ground-truth 2D gradients: the reference pixel-major
+ * walk with float blend decisions (alpha/gval computed exactly like the
+ * forward pass, so the blended set is identical) but double-precision
+ * transmittance/rear-accumulation recurrences and gradient sums. Both
+ * float kernels are compared against this to show their mutual
+ * divergence is the float rounding envelope itself, not an error of
+ * either kernel.
+ */
+struct Grad2D64
+{
+    std::vector<double> mx, my, cxx, cxy, cyy, r, g, b, op, dep;
+
+    explicit Grad2D64(size_t n)
+        : mx(n), my(n), cxx(n), cxy(n), cyy(n), r(n), g(n), b(n),
+          op(n), dep(n)
+    {
+    }
+};
+
+Grad2D64
+backwardGroundTruth64(const gs::ForwardContext &ctx,
+                      const gs::RenderSettings &settings,
+                      const ImageRGB &dl_dcolor, const ImageF &dl_ddepth,
+                      size_t cloud_size)
+{
+    Grad2D64 gt(cloud_size);
+    for (u32 tile = 0; tile < ctx.grid.tileCount(); ++tile) {
+        if (ctx.bins.count(tile) == 0)
+            continue;
+        u32 x0, y0, x1, y1;
+        ctx.grid.tileBounds(tile, x0, y0, x1, y1);
+        const std::vector<gs::HotSplat> &splats =
+            gs::gatherTileSplats(ctx.projected.soa, ctx.bins, tile);
+        const u32 *ids = ctx.bins.tileData(tile);
+
+        struct Frag
+        {
+            u32 slot;
+            float alpha, gval;
+            double dx, dy, tBefore;
+            bool clamped;
+        };
+        std::vector<Frag> frags;
+        for (u32 py = y0; py < y1; ++py) {
+            for (u32 px = x0; px < x1; ++px) {
+                Vec3f dl_dc = dl_dcolor.at(px, py);
+                double dld = dl_ddepth.at(px, py);
+                if (dl_dc.squaredNorm() == 0 && dld == 0)
+                    continue;
+                frags.clear();
+                double T = 1;
+                // Float twin of T drives every *decision* (here, early
+                // termination) so the blended set is exactly the
+                // forward pass's; only the arithmetic runs in double.
+                Real t_dec = 1;
+                for (u32 s = 0; s < splats.size(); ++s) {
+                    const gs::HotSplat &g = splats[s];
+                    // Float decisions, identical to the production
+                    // kernels' (and the forward pass's) operations.
+                    Real dxf = (Real(px) + Real(0.5)) - g.mx;
+                    Real dyf = (Real(py) + Real(0.5)) - g.my;
+                    Real power = Real(-0.5) *
+                        (g.cxx * dxf * dxf + Real(2) * g.cxy * dxf * dyf +
+                         g.cyy * dyf * dyf);
+                    if (power > 0 || power < g.powerSkip)
+                        continue;
+                    Real gval = std::exp(power);
+                    Real raw = g.opacity * gval;
+                    bool clamped = raw > settings.alphaMax;
+                    Real alpha = clamped ? settings.alphaMax : raw;
+                    if (alpha < settings.alphaMin)
+                        continue;
+                    frags.push_back({s, alpha, gval, double(dxf),
+                                     double(dyf), T, clamped});
+                    T *= 1.0 - double(alpha);
+                    t_dec *= 1 - alpha;
+                    if (t_dec < settings.transmittanceEps)
+                        break;
+                }
+                double t_final = T;
+                double bg_dot = double(settings.background.x) * dl_dc.x +
+                                double(settings.background.y) * dl_dc.y +
+                                double(settings.background.z) * dl_dc.z;
+                double aR = 0, aG = 0, aB = 0, aD = 0;
+                for (size_t j = frags.size(); j-- > 0;) {
+                    const Frag &f = frags[j];
+                    const gs::HotSplat &g = splats[f.slot];
+                    const u32 gid = ids[f.slot];
+                    double a = f.alpha, tb = f.tBefore;
+                    double w = a * tb;
+                    gt.r[gid] += dl_dc.x * w;
+                    gt.g[gid] += dl_dc.y * w;
+                    gt.b[gid] += dl_dc.z * w;
+                    gt.dep[gid] += dld * w;
+                    double da = ((double(g.r) - aR) * dl_dc.x +
+                                 (double(g.g) - aG) * dl_dc.y +
+                                 (double(g.b) - aB) * dl_dc.z) * tb +
+                                (double(g.depth) - aD) * dld * tb;
+                    da += (-t_final / (1.0 - a)) * bg_dot;
+                    aR = double(g.r) * a + aR * (1.0 - a);
+                    aG = double(g.g) * a + aG * (1.0 - a);
+                    aB = double(g.b) * a + aB * (1.0 - a);
+                    aD = double(g.depth) * a + aD * (1.0 - a);
+                    if (f.clamped)
+                        continue;
+                    gt.op[gid] += double(f.gval) * da;
+                    double dp = a * da;
+                    double cd_x = double(g.cxx) * f.dx + double(g.cxy) * f.dy;
+                    double cd_y = double(g.cxy) * f.dx + double(g.cyy) * f.dy;
+                    gt.mx[gid] += cd_x * dp;
+                    gt.my[gid] += cd_y * dp;
+                    gt.cxx[gid] += -0.5 * f.dx * f.dx * dp;
+                    gt.cxy[gid] += -f.dx * f.dy * dp;
+                    gt.cyy[gid] += -0.5 * f.dy * f.dy * dp;
+                }
+            }
+        }
+    }
+    return gt;
+}
+
+/** Scale-relative distance of a float grad2d from the f64 ground truth. */
+double
+grad2dVsGroundTruth(const gs::Gradient2DBuffers &g2, const Grad2D64 &gt)
+{
+    double worst = 0;
+    auto fold = [&](auto getf, const std::vector<double> &ref) {
+        double diff = 0, scale = 1;
+        for (size_t k = 0; k < ref.size(); ++k) {
+            diff = std::max(diff, std::abs(getf(k) - ref[k]));
+            scale = std::max(scale, std::abs(ref[k]));
+        }
+        worst = std::max(worst, diff / scale);
+    };
+    fold([&](size_t k) { return double(g2.dMean2d[k].x); }, gt.mx);
+    fold([&](size_t k) { return double(g2.dMean2d[k].y); }, gt.my);
+    fold([&](size_t k) { return double(g2.dConic[k].xx); }, gt.cxx);
+    fold([&](size_t k) { return double(g2.dConic[k].xy); }, gt.cxy);
+    fold([&](size_t k) { return double(g2.dConic[k].yy); }, gt.cyy);
+    fold([&](size_t k) { return double(g2.dColor[k].x); }, gt.r);
+    fold([&](size_t k) { return double(g2.dColor[k].y); }, gt.g);
+    fold([&](size_t k) { return double(g2.dColor[k].z); }, gt.b);
+    fold([&](size_t k) { return double(g2.dOpacityAct[k]); }, gt.op);
+    fold([&](size_t k) { return double(g2.dDepth[k]); }, gt.dep);
+    return worst;
+}
+
+/**
+ * Largest per-class gradient difference between two backward results,
+ * normalised by each class's own magnitude scale (max(1, max |ref|)) —
+ * the gradient analogue of maxChannelDiff, where image channels are
+ * already order-one. The splat-major kernel recovers per-fragment
+ * transmittance by division, an ulp-level perturbation relative to the
+ * magnitudes summed, so this scale-relative metric is the one with a
+ * meaningful floating-point bound.
+ */
+double
+maxGradDiffRel(const gs::BackwardResult &a, const gs::BackwardResult &b)
+{
+    double worst = 0;
+    auto fold = [&](auto get, size_t n) {
+        double diff = 0, scale = 1;
+        for (size_t k = 0; k < n; ++k) {
+            double av = get(a, k), bv = get(b, k);
+            diff = std::max(diff, std::abs(av - bv));
+            scale = std::max(scale, std::abs(bv));
+        }
+        worst = std::max(worst, diff / scale);
+    };
+    size_t n = a.grads.size();
+    for (int c = 0; c < 3; ++c) {
+        fold([c](const gs::BackwardResult &r, size_t k) {
+            return double(r.grads.dPositions[k][c]); }, n);
+        fold([c](const gs::BackwardResult &r, size_t k) {
+            return double(r.grads.dLogScales[k][c]); }, n);
+        fold([c](const gs::BackwardResult &r, size_t k) {
+            return double(r.grads.dShCoeffs[k][c]); }, n);
+    }
+    fold([](const gs::BackwardResult &r, size_t k) {
+        return double(r.grads.dOpacityLogits[k]); }, n);
+    fold([](const gs::BackwardResult &r, size_t k) {
+        return double(r.poseGrad[k]); }, 6);
+    return worst;
+}
+
 int
-writeForwardComparison()
+writeComparison()
 {
     const char *path = std::getenv("RTGS_BENCH_JSON");
     if (!path)
@@ -224,6 +430,52 @@ writeForwardComparison()
     double speedup = seed_wall / rtgs_wall;
     double cpu_speedup = seed_cpu / rtgs_cpu;
 
+    // Backward head-to-head over the same forward context: the seed's
+    // serial pixel-major walk vs the splat-major scheduler, colour and
+    // depth adjoints both active. The gradient gate is scale-relative
+    // (see maxGradDiffRel).
+    ImageRGB adj(320, 240, {0.3f, -0.2f, 0.1f});
+    ImageF adj_depth(320, 240, Real(0.05));
+    gs::BackwardResult seed_back = gs::backwardFull(
+        f.cloud, rtgs_ctx.projected, rtgs_ctx.bins, rtgs_ctx.grid,
+        f.settings, rtgs_ctx.result, f.camera, adj, &adj_depth, true);
+    gs::BackwardResult rtgs_back =
+        pipe.backward(f.cloud, rtgs_ctx, adj, &adj_depth, true);
+    double grad_diff = maxGradDiffRel(rtgs_back, seed_back);
+
+    // Both float kernels against the double-precision ground truth:
+    // their mutual divergence is bounded by the float rounding envelope
+    // itself (each pixel's transmittance recurrence accumulates ~1 ulp
+    // per blended fragment, ~22 deep on this fixture), so neither is
+    // "wrong" — and the splat-major kernel must stay as close to the
+    // truth as the reference is.
+    Grad2D64 gt = backwardGroundTruth64(rtgs_ctx, f.settings, adj,
+                                        adj_depth, f.cloud.size());
+    double seed_vs_gt = grad2dVsGroundTruth(seed_back.grad2d, gt);
+    double rtgs_vs_gt = grad2dVsGroundTruth(rtgs_back.grad2d, gt);
+
+    double bseed_wall, bseed_cpu, brtgs_wall, brtgs_cpu;
+    timeMs(
+        [&] {
+            auto back = gs::backwardFull(
+                f.cloud, rtgs_ctx.projected, rtgs_ctx.bins, rtgs_ctx.grid,
+                f.settings, rtgs_ctx.result, f.camera, adj, &adj_depth,
+                true);
+            benchmark::DoNotOptimize(back.grads.dPositions.data());
+        },
+        reps, bseed_wall, bseed_cpu);
+    gs::BackwardResult reused; // steady-state: scratch + result reuse
+    timeMs(
+        [&] {
+            pipe.backward(f.cloud, rtgs_ctx, adj, &adj_depth, true,
+                          reused);
+            benchmark::DoNotOptimize(reused.grads.dPositions.data());
+        },
+        reps, brtgs_wall, brtgs_cpu);
+
+    double backward_speedup = bseed_wall / brtgs_wall;
+    double backward_cpu_speedup = bseed_cpu / brtgs_cpu;
+
     std::FILE *out = std::fopen(path, "w");
     if (!out) {
         std::fprintf(stderr, "cannot open %s\n", path);
@@ -232,7 +484,7 @@ writeForwardComparison()
     std::fprintf(
         out,
         "{\n"
-        "  \"bench\": \"micro_rasterizer_forward\",\n"
+        "  \"bench\": \"micro_rasterizer\",\n"
         "  \"image\": \"320x240\",\n"
         "  \"gaussians\": %zu,\n"
         "  \"threads\": %zu,\n"
@@ -243,10 +495,21 @@ writeForwardComparison()
         "  \"seed_cpu_ms\": %.4f,\n"
         "  \"rtgs_cpu_ms\": %.4f,\n"
         "  \"cpu_speedup\": %.3f,\n"
-        "  \"max_abs_channel_diff\": %.3g\n"
+        "  \"max_abs_channel_diff\": %.3g,\n"
+        "  \"backward_seed_wall_ms\": %.4f,\n"
+        "  \"backward_rtgs_wall_ms\": %.4f,\n"
+        "  \"backward_speedup\": %.3f,\n"
+        "  \"backward_seed_cpu_ms\": %.4f,\n"
+        "  \"backward_rtgs_cpu_ms\": %.4f,\n"
+        "  \"backward_cpu_speedup\": %.3f,\n"
+        "  \"backward_max_rel_grad_diff\": %.3g,\n"
+        "  \"backward_seed_vs_f64_truth\": %.3g,\n"
+        "  \"backward_rtgs_vs_f64_truth\": %.3g\n"
         "}\n",
         f.cloud.size(), globalPool().size() + 1, reps, seed_wall,
-        rtgs_wall, speedup, seed_cpu, rtgs_cpu, cpu_speedup, diff);
+        rtgs_wall, speedup, seed_cpu, rtgs_cpu, cpu_speedup, diff,
+        bseed_wall, brtgs_wall, backward_speedup, bseed_cpu, brtgs_cpu,
+        backward_cpu_speedup, grad_diff, seed_vs_gt, rtgs_vs_gt);
     std::fclose(out);
 
     std::printf("\n== forward pass: seed serial vs parallel SoA ==\n");
@@ -254,11 +517,43 @@ writeForwardComparison()
     std::printf("rtgs  %.3f ms wall / %.3f ms cpu\n", rtgs_wall, rtgs_cpu);
     std::printf("speedup %.2fx wall, %.2fx cpu; max channel diff %.3g\n",
                 speedup, cpu_speedup, diff);
+    std::printf("\n== backward pass: seed pixel-major vs splat-major ==\n");
+    std::printf("seed  %.3f ms wall / %.3f ms cpu\n", bseed_wall,
+                bseed_cpu);
+    std::printf("rtgs  %.3f ms wall / %.3f ms cpu\n", brtgs_wall,
+                brtgs_cpu);
+    std::printf("speedup %.2fx wall, %.2fx cpu; "
+                "max scale-relative grad diff %.3g\n",
+                backward_speedup, backward_cpu_speedup, grad_diff);
+    std::printf("vs f64 ground truth: seed %.3g, rtgs %.3g\n",
+                seed_vs_gt, rtgs_vs_gt);
     std::printf("wrote %s\n", path);
 
     if (diff > 1e-6) {
         std::fprintf(stderr,
                      "FAIL: image mismatch above 1e-6 (%.3g)\n", diff);
+        return 1;
+    }
+    // Documented tolerance (see src/gs/README.md): the splat-major
+    // kernel recovers per-fragment transmittance by division instead of
+    // replaying the forward float products, so it cannot be bit-equal
+    // to the reference; each kernel drifts ~1 ulp per blended fragment
+    // (~22 deep here) from the real-valued gradient, which the
+    // *_vs_f64_truth fields quantify. The gate bounds the divergence at
+    // 2e-5 of each gradient class's scale, ~4x the measured value, and
+    // additionally requires the new kernel to stay as close to the f64
+    // ground truth as the reference walk is (within 2x).
+    if (grad_diff > 2e-5) {
+        std::fprintf(stderr,
+                     "FAIL: backward gradient mismatch above 2e-5 "
+                     "scale-relative (%.3g)\n", grad_diff);
+        return 1;
+    }
+    if (rtgs_vs_gt > 2 * seed_vs_gt + 1e-7) {
+        std::fprintf(stderr,
+                     "FAIL: splat-major kernel drifts further from f64 "
+                     "ground truth (%.3g) than the reference (%.3g)\n",
+                     rtgs_vs_gt, seed_vs_gt);
         return 1;
     }
     return 0;
@@ -274,5 +569,5 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    return writeForwardComparison();
+    return writeComparison();
 }

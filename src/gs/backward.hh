@@ -56,6 +56,10 @@ struct BackwardResult
  * Step 4 for a single tile: walk each pixel's blended fragments in
  * reverse compositing order and accumulate 2D gradients into `acc`.
  *
+ * This is the seed's pixel-major walk, kept (together with
+ * backwardFull) as the bit-exact serial reference the splat-major
+ * production kernel is validated against.
+ *
  * @param dl_dcolor  per-pixel dL/dC (same shape as the image)
  * @param dl_ddepth  optional per-pixel dL/dDepth (nullptr to disable)
  */
@@ -64,6 +68,59 @@ void backwardTile(u32 tile, const ProjectedCloud &projected,
                   const RenderSettings &settings,
                   const RenderResult &result, const ImageRGB &dl_dcolor,
                   const ImageF *dl_ddepth, Gradient2DBuffers &acc);
+
+/**
+ * One (tile, stream-slot) 2D-gradient contribution emitted by the
+ * splat-major backward tile kernel: the tile-local sum, over every
+ * pixel that blended the splat, of the pixel-level dL/dG2D terms. Slot
+ * i of tile t describes the Gaussian bins.tileData(t)[i]; the flat
+ * record array is parallel to TileBins::indices, so the per-Gaussian
+ * reduction (gatherSplatGradients) is a deterministic walk of the flat
+ * buffer, independent of how tiles were scheduled across threads.
+ */
+struct SplatGradRecord
+{
+    Real dMeanX = 0, dMeanY = 0;
+    Real dConicXX = 0, dConicXY = 0, dConicYY = 0; //!< symmetric-sum form
+    Real dColorR = 0, dColorG = 0, dColorB = 0;
+    Real dOpacityAct = 0;
+    Real dDepth = 0;
+};
+
+/**
+ * Step 4 for a single tile, splat-major: mirror of the forward
+ * rasteriser's structure. Walks the tile's hot-splat stream in reverse
+ * depth order, touching only the pixels inside each splat's
+ * cutoff-ellipse bounding box, and runs the standard back-to-front
+ * blending recurrence from the per-pixel terminal state the forward
+ * pass saved in `result` (finalT and nContrib) — no per-pixel forward
+ * re-walk, no fragment records. Writes one SplatGradRecord per stream
+ * slot into records[bins.offsets[tile] .. bins.offsets[tile + 1]);
+ * every slot of a non-empty tile is written (zeros for splats nothing
+ * blended), so the caller never needs to pre-zero the array.
+ *
+ * The recovered per-fragment transmittance divides the running rear
+ * transmittance by (1 - alpha) instead of replaying the forward
+ * product, so gradients agree with backwardTile to ~1 ulp per blended
+ * fragment rather than bit-exactly (see src/gs/README.md).
+ */
+void backwardTileSplatMajor(u32 tile, const ProjectedCloud &projected,
+                            const TileBins &bins, const TileGrid &grid,
+                            const RenderSettings &settings,
+                            const RenderResult &result,
+                            const ImageRGB &dl_dcolor,
+                            const ImageF *dl_ddepth,
+                            SplatGradRecord *records);
+
+/**
+ * Reduce the flat per-slot records into per-Gaussian 2D gradient
+ * buffers (which must already be sized and zeroed). Runs in flat-buffer
+ * order — tiles ascending, stream slots ascending — so the summation
+ * order is fixed no matter how many threads produced the records.
+ */
+void gatherSplatGradients(const TileBins &bins,
+                          const std::vector<SplatGradRecord> &records,
+                          Gradient2DBuffers &out);
 
 /**
  * Step 5 for one Gaussian: transform its aggregated 2D gradients into 3D

@@ -123,48 +123,16 @@ rasterizeTile(u32 tile, const ProjectedCloud &projected,
     for (u32 s = 0; s < n_splats && alive > 0; ++s) {
         const HotSplat &g = splats[s];
 
-        // Pixels that can blend satisfy power >= powerSkip, i.e. lie in
-        // the ellipse d^T conic d <= q. Its axis-aligned bounding box
-        // (padded a pixel against rounding; powerSkip itself already
-        // carries the exactness margin) is all we rasterise.
-        Real q = Real(-2) * g.powerSkip;
-        if (!(q > 0))
+        u32 sx0, sy0, sx1, sy1;
+        if (!cutoffEllipseBounds(g, x0, y0, x1, y1, sx0, sy0, sx1, sy1))
             continue; // whole splat below alphaMin everywhere
-        // A degenerate conic (det <= 0) yields NaN/inf extents and
-        // falls through to the full-tile path, matching the reference
-        // rasteriser's behaviour for such splats.
-        Real det = g.cxx * g.cyy - g.cxy * g.cxy;
-        Real ex = std::sqrt(q * g.cyy / det);
-        Real ey = std::sqrt(q * g.cxx / det);
-        u32 sx0 = x0, sx1 = x1, sy0 = y0, sy1 = y1;
-        // The extent bound keeps the float->i64 casts defined for
-        // extreme (but finite) splat scales; oversized extents just
-        // take the full-tile path.
-        if (ex < Real(1e9) && ey < Real(1e9)) {
-            i64 bx0 = static_cast<i64>(std::floor(g.mx - ex - Real(1.5)));
-            i64 bx1 = static_cast<i64>(std::ceil(g.mx + ex + Real(0.5)));
-            i64 by0 = static_cast<i64>(std::floor(g.my - ey - Real(1.5)));
-            i64 by1 = static_cast<i64>(std::ceil(g.my + ey + Real(0.5)));
-            sx0 = static_cast<u32>(std::clamp<i64>(bx0, x0, x1));
-            sx1 = static_cast<u32>(std::clamp<i64>(bx1 + 1, x0, x1));
-            sy0 = static_cast<u32>(std::clamp<i64>(by0, y0, y1));
-            sy1 = static_cast<u32>(std::clamp<i64>(by1 + 1, y0, y1));
-        }
 
-        const Real cxx = g.cxx, cxy = g.cxy, cyy = g.cyy;
         const Real skip = g.powerSkip;
         for (u32 py = sy0; py < sy1; ++py) {
             const Real dy =
                 (static_cast<Real>(py) + Real(0.5)) - g.my;
             const u32 w_row = sx1 - sx0;
-            for (u32 i = 0; i < w_row; ++i) {
-                Real dx = (static_cast<Real>(sx0 + i) + Real(0.5)) -
-                          g.mx;
-                power_row[i] =
-                    Real(-0.5) * (cxx * dx * dx +
-                                  Real(2) * cxy * dx * dy +
-                                  cyy * dy * dy);
-            }
+            evalPowerRow(g, dy, sx0, w_row, power_row, nullptr);
 
             PixState *row_state =
                 state.data() + (py - y0) * tw + (sx0 - x0);

@@ -11,6 +11,9 @@
 #ifndef RTGS_GS_RASTERIZER_HH
 #define RTGS_GS_RASTERIZER_HH
 
+#include <algorithm>
+#include <cmath>
+
 #include "image/image.hh"
 #include "gs/sorting.hh"
 #include "gs/tiling.hh"
@@ -18,7 +21,16 @@
 namespace rtgs::gs
 {
 
-/** Forward rendering outputs, kept for the backward pass. */
+/**
+ * Forward rendering outputs, kept for the backward pass.
+ *
+ * `finalT` and `nContrib` are the per-pixel terminal state the
+ * splat-major backward kernel runs its back-to-front blending
+ * recurrence from: the transmittance after the last blended fragment,
+ * and the exclusive end of the examined prefix of the tile's hot-splat
+ * stream (fragments at stream positions >= nContrib were never reached
+ * because the pixel terminated first).
+ */
 struct RenderResult
 {
     ImageRGB image;          //!< composited colour (with background)
@@ -59,6 +71,85 @@ struct HotSplat
 const std::vector<HotSplat> &gatherTileSplats(const ProjectedSoA &soa,
                                               const TileBins &bins,
                                               u32 tile);
+
+/**
+ * Evaluate splat g's Gaussian exponent over one pixel row: pixels
+ * sx0..sx0+n-1 at row centre offset dy = (py + 0.5) - g.my, written to
+ * power_row (and the pixel-centre x offsets to dx_row when non-null).
+ * Shared by the forward and backward tile kernels so both see
+ * bit-identical power values — the blended-set agreement the backward
+ * recurrence depends on is enforced by construction, not convention.
+ * The loop is branch-free per lane and uses the exact scalar operation
+ * sequence (convert, +0.5, subtract, quadratic form, * -0.5; no FMA on
+ * baseline x86-64), so it vectorises without changing results.
+ */
+inline void
+evalPowerRow(const HotSplat &g, Real dy, u32 sx0, u32 n,
+             Real *__restrict power_row, Real *__restrict dx_row)
+{
+    const Real cxx = g.cxx, cxy = g.cxy, cyy = g.cyy;
+    if (dx_row) {
+        for (u32 i = 0; i < n; ++i) {
+            Real dx = (static_cast<Real>(sx0 + i) + Real(0.5)) - g.mx;
+            dx_row[i] = dx;
+            power_row[i] = Real(-0.5) * (cxx * dx * dx +
+                                         Real(2) * cxy * dx * dy +
+                                         cyy * dy * dy);
+        }
+    } else {
+        for (u32 i = 0; i < n; ++i) {
+            Real dx = (static_cast<Real>(sx0 + i) + Real(0.5)) - g.mx;
+            power_row[i] = Real(-0.5) * (cxx * dx * dx +
+                                         Real(2) * cxy * dx * dy +
+                                         cyy * dy * dy);
+        }
+    }
+}
+
+/**
+ * Clip splat g's cutoff-ellipse bounding box — the pixel region where
+ * alpha can still reach alphaMin, i.e. d^T conic d <= -2 powerSkip — to
+ * the tile rect [x0,x1) x [y0,y1), writing the result to [sx0,sx1) x
+ * [sy0,sy1). Returns false when the whole splat is below alphaMin
+ * (q <= 0): no pixel anywhere can blend it. Shared by the forward and
+ * backward splat-major tile kernels so both walk the exact same pixels.
+ */
+inline bool
+cutoffEllipseBounds(const HotSplat &g, u32 x0, u32 y0, u32 x1, u32 y1,
+                    u32 &sx0, u32 &sy0, u32 &sx1, u32 &sy1)
+{
+    // Pixels that can blend satisfy power >= powerSkip, i.e. lie in
+    // the ellipse d^T conic d <= q. Its axis-aligned bounding box
+    // (padded a pixel against rounding; powerSkip itself already
+    // carries the exactness margin) is all we rasterise.
+    Real q = Real(-2) * g.powerSkip;
+    if (!(q > 0))
+        return false; // whole splat below alphaMin everywhere
+    // A degenerate conic (det <= 0) yields NaN/inf extents and
+    // falls through to the full-tile path, matching the reference
+    // rasteriser's behaviour for such splats.
+    Real det = g.cxx * g.cyy - g.cxy * g.cxy;
+    Real ex = std::sqrt(q * g.cyy / det);
+    Real ey = std::sqrt(q * g.cxx / det);
+    sx0 = x0;
+    sx1 = x1;
+    sy0 = y0;
+    sy1 = y1;
+    // The extent bound keeps the float->i64 casts defined for
+    // extreme (but finite) splat scales; oversized extents just
+    // take the full-tile path.
+    if (ex < Real(1e9) && ey < Real(1e9)) {
+        i64 bx0 = static_cast<i64>(std::floor(g.mx - ex - Real(1.5)));
+        i64 bx1 = static_cast<i64>(std::ceil(g.mx + ex + Real(0.5)));
+        i64 by0 = static_cast<i64>(std::floor(g.my - ey - Real(1.5)));
+        i64 by1 = static_cast<i64>(std::ceil(g.my + ey + Real(0.5)));
+        sx0 = static_cast<u32>(std::clamp<i64>(bx0, x0, x1));
+        sx1 = static_cast<u32>(std::clamp<i64>(bx1 + 1, x0, x1));
+        sy0 = static_cast<u32>(std::clamp<i64>(by0, y0, y1));
+        sy1 = static_cast<u32>(std::clamp<i64>(by1 + 1, y0, y1));
+    }
+    return true;
+}
 
 /**
  * Rasterise one tile into the result images. Exposed separately so the

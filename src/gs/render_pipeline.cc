@@ -7,9 +7,78 @@
 namespace rtgs::gs
 {
 
+namespace
+{
+
+/**
+ * Preprocessing-BP block size: the pose twist is reduced over
+ * fixed-size Gaussian blocks (not per-worker ranges), so the summation
+ * order — and hence the result, bitwise — is independent of how many
+ * threads ran the pass.
+ */
+constexpr size_t kPoseBlock = 256;
+
+} // namespace
+
+/**
+ * Reusable backward-pass working memory. One arena is checked out per
+ * backward() call, so concurrent calls (tracking overlapped with async
+ * mapping) each get their own; steady-state iterations re-use the
+ * buffers instead of re-allocating workers x cloud-size accumulators
+ * every call.
+ */
+struct RenderPipeline::BackwardScratch
+{
+    std::vector<SplatGradRecord> records; //!< parallel to bins.indices
+    std::vector<Twist> poseBlocks;        //!< per-block pose partials
+};
+
 RenderPipeline::RenderPipeline(const RenderSettings &settings)
     : settings_(settings)
 {
+}
+
+RenderPipeline::~RenderPipeline() = default;
+
+RenderPipeline::RenderPipeline(const RenderPipeline &other)
+    : settings_(other.settings_), pool_(other.pool_)
+{
+}
+
+RenderPipeline &
+RenderPipeline::operator=(const RenderPipeline &other)
+{
+    settings_ = other.settings_;
+    pool_ = other.pool_;
+    return *this;
+}
+
+ThreadPool &
+RenderPipeline::pool() const
+{
+    return pool_ ? *pool_ : globalPool();
+}
+
+std::unique_ptr<RenderPipeline::BackwardScratch>
+RenderPipeline::acquireScratch() const
+{
+    {
+        std::lock_guard<std::mutex> lock(scratchMutex_);
+        if (!scratchFree_.empty()) {
+            auto scratch = std::move(scratchFree_.back());
+            scratchFree_.pop_back();
+            return scratch;
+        }
+    }
+    return std::make_unique<BackwardScratch>();
+}
+
+void
+RenderPipeline::releaseScratch(
+    std::unique_ptr<BackwardScratch> scratch) const
+{
+    std::lock_guard<std::mutex> lock(scratchMutex_);
+    scratchFree_.push_back(std::move(scratch));
 }
 
 WorkloadSummary
@@ -39,12 +108,69 @@ RenderPipeline::forward(const GaussianCloud &cloud,
     sortTilesByDepth(ctx.bins, ctx.projected);
 
     ctx.result = makeRenderResult(ctx.grid);
-    ThreadPool &pool = globalPool();
-    pool.parallelFor(0, ctx.grid.tileCount(), [&](size_t t) {
-        rasterizeTile(static_cast<u32>(t), ctx.projected, ctx.bins,
-                      ctx.grid, settings_, ctx.result);
-    });
+    pool().parallelForChunks(
+        0, ctx.grid.tileCount(), [&](size_t lo, size_t hi) {
+            for (size_t t = lo; t < hi; ++t)
+                rasterizeTile(static_cast<u32>(t), ctx.projected,
+                              ctx.bins, ctx.grid, settings_, ctx.result);
+        });
     return ctx;
+}
+
+void
+RenderPipeline::backward(const GaussianCloud &cloud,
+                         const ForwardContext &ctx,
+                         const ImageRGB &dl_dcolor,
+                         const ImageF *dl_ddepth, bool compute_pose_grad,
+                         BackwardResult &out) const
+{
+    ThreadPool &pool = this->pool();
+    std::unique_ptr<BackwardScratch> scratch = acquireScratch();
+    const size_t n = cloud.size();
+
+    // Step 4, splat-major: every tile writes its slice of the flat
+    // per-slot record buffer — disjoint ranges, no accumulator copies
+    // per worker. parallelForChunks handles the degenerate shapes
+    // (1 tile, tiles < workers) that hand-rolled chunk math got wrong.
+    scratch->records.resize(ctx.bins.indices.size());
+    pool.parallelForChunks(
+        0, ctx.grid.tileCount(), [&](size_t lo, size_t hi) {
+            for (size_t t = lo; t < hi; ++t)
+                backwardTileSplatMajor(static_cast<u32>(t), ctx.projected,
+                                       ctx.bins, ctx.grid, settings_,
+                                       ctx.result, dl_dcolor, dl_ddepth,
+                                       scratch->records.data());
+        });
+
+    // Per-Gaussian reduction in flat-buffer order: deterministic for
+    // any thread count (the CPU stand-in for the GMU's conflict-free
+    // gradient aggregation).
+    out.grad2d.resize(n);
+    gatherSplatGradients(ctx.bins, scratch->records, out.grad2d);
+
+    // Step 5: embarrassingly parallel over Gaussians; the pose twist is
+    // reduced over fixed-size blocks in block order so the result does
+    // not depend on the worker count.
+    out.grads.resize(n);
+    const size_t nblocks = (n + kPoseBlock - 1) / kPoseBlock;
+    scratch->poseBlocks.assign(nblocks, Twist{});
+    pool.parallelForChunks(0, nblocks, [&](size_t blo, size_t bhi) {
+        for (size_t b = blo; b < bhi; ++b) {
+            size_t k0 = b * kPoseBlock;
+            size_t k1 = std::min(n, k0 + kPoseBlock);
+            Twist *pg =
+                compute_pose_grad ? &scratch->poseBlocks[b] : nullptr;
+            for (size_t k = k0; k < k1; ++k)
+                preprocessBackwardOne(k, cloud, ctx.camera, out.grad2d,
+                                      ctx.projected, out.grads, pg);
+        }
+    });
+    Twist pose{};
+    for (const Twist &p : scratch->poseBlocks)
+        pose = pose + p;
+    out.poseGrad = pose;
+
+    releaseScratch(std::move(scratch));
 }
 
 BackwardResult
@@ -54,55 +180,9 @@ RenderPipeline::backward(const GaussianCloud &cloud,
                          const ImageF *dl_ddepth,
                          bool compute_pose_grad) const
 {
-    ThreadPool &pool = globalPool();
-    size_t workers = std::max<size_t>(1, pool.size());
-    size_t tiles = ctx.grid.tileCount();
-    workers = std::min(workers, tiles);
-
-    // Per-worker 2D gradient accumulators avoid the atomic contention a
-    // GPU pays here (the very contention the GMU hardware removes).
-    std::vector<Gradient2DBuffers> partial(workers);
-    for (auto &buf : partial)
-        buf.resize(cloud.size());
-
-    size_t chunk = (tiles + workers - 1) / workers;
-    pool.parallelFor(0, workers, [&](size_t w) {
-        size_t lo = w * chunk;
-        size_t hi = std::min(tiles, lo + chunk);
-        for (size_t t = lo; t < hi; ++t) {
-            backwardTile(static_cast<u32>(t), ctx.projected, ctx.bins,
-                         ctx.grid, settings_, ctx.result, dl_dcolor,
-                         dl_ddepth, partial[w]);
-        }
-    });
-
-    BackwardResult br;
-    br.grad2d = std::move(partial[0]);
-    for (size_t w = 1; w < workers; ++w)
-        br.grad2d.accumulate(partial[w]);
-
-    br.grads.resize(cloud.size());
-    // Preprocessing BP is embarrassingly parallel over Gaussians, but the
-    // pose twist must be reduced; chunk it like the tiles above.
-    size_t n = cloud.size();
-    size_t gworkers = std::min(workers, std::max<size_t>(1, n));
-    std::vector<Twist> pose_partial(gworkers);
-    size_t gchunk = (n + gworkers - 1) / gworkers;
-    pool.parallelFor(0, gworkers, [&](size_t w) {
-        size_t lo = w * gchunk;
-        size_t hi = std::min(n, lo + gchunk);
-        for (size_t k = lo; k < hi; ++k) {
-            preprocessBackwardOne(k, cloud, ctx.camera, br.grad2d,
-                                  ctx.projected, br.grads,
-                                  compute_pose_grad ?
-                                  &pose_partial[w] : nullptr);
-        }
-    });
-    Twist pose{};
-    for (const auto &p : pose_partial)
-        pose = pose + p;
-    br.poseGrad = pose;
-    return br;
+    BackwardResult out;
+    backward(cloud, ctx, dl_dcolor, dl_ddepth, compute_pose_grad, out);
+    return out;
 }
 
 } // namespace rtgs::gs

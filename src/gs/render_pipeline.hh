@@ -10,8 +10,15 @@
 #define RTGS_GS_RENDER_PIPELINE_HH
 
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "gs/backward.hh"
+
+namespace rtgs
+{
+class ThreadPool;
+}
 
 namespace rtgs::gs
 {
@@ -56,26 +63,49 @@ struct ForwardContext
 };
 
 /**
- * Thread-parallel renderer. Stateless apart from settings; safe to share
- * across frames.
+ * Thread-parallel renderer. Logically stateless apart from settings —
+ * the only mutable state is an internal pool of backward scratch
+ * arenas, checked out under a mutex, so concurrent forward/backward
+ * calls on one pipeline (tracking overlapped with async mapping) stay
+ * safe while per-iteration allocation churn is gone.
  */
 class RenderPipeline
 {
   public:
     explicit RenderPipeline(const RenderSettings &settings = {});
+    ~RenderPipeline();
+
+    /** Copies share settings but never scratch arenas. */
+    RenderPipeline(const RenderPipeline &other);
+    RenderPipeline &operator=(const RenderPipeline &other);
 
     const RenderSettings &settings() const { return settings_; }
     RenderSettings &settings() { return settings_; }
+
+    /**
+     * Thread pool override, mainly for tests that pin a worker count;
+     * nullptr (the default) selects the process-wide globalPool(). All
+     * pipeline outputs are bitwise independent of the pool size.
+     */
+    void setPool(ThreadPool *pool) { pool_ = pool; }
 
     /** Steps 1-3: project, bin, sort, rasterise. */
     ForwardContext forward(const GaussianCloud &cloud,
                            const Camera &camera) const;
 
     /**
-     * Steps 4-5 from a forward context and per-pixel loss gradients.
+     * Steps 4-5 from a forward context and per-pixel loss gradients,
+     * reusing `out`'s buffers (callers that run backward every
+     * iteration keep one BackwardResult alive across the loop and pay
+     * no per-iteration allocation).
      *
      * @param compute_pose_grad accumulate dL/dP (tracking stages)
      */
+    void backward(const GaussianCloud &cloud, const ForwardContext &ctx,
+                  const ImageRGB &dl_dcolor, const ImageF *dl_ddepth,
+                  bool compute_pose_grad, BackwardResult &out) const;
+
+    /** Convenience overload returning a fresh BackwardResult. */
     BackwardResult backward(const GaussianCloud &cloud,
                             const ForwardContext &ctx,
                             const ImageRGB &dl_dcolor,
@@ -83,7 +113,16 @@ class RenderPipeline
                             bool compute_pose_grad) const;
 
   private:
+    struct BackwardScratch;
+
+    ThreadPool &pool() const;
+    std::unique_ptr<BackwardScratch> acquireScratch() const;
+    void releaseScratch(std::unique_ptr<BackwardScratch> scratch) const;
+
     RenderSettings settings_;
+    ThreadPool *pool_ = nullptr;
+    mutable std::mutex scratchMutex_;
+    mutable std::vector<std::unique_ptr<BackwardScratch>> scratchFree_;
 };
 
 } // namespace rtgs::gs

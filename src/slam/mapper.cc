@@ -88,6 +88,8 @@ Mapper::map(const gs::RenderPipeline &pipeline, gs::GaussianCloud &cloud,
 
     optimizer_.ensureSize(cloud.size());
     double final_loss = 0;
+    // One gradient arena reused across all mapping iterations.
+    gs::BackwardResult back;
     for (u32 it = 0; it < max_iters; ++it) {
         // Alternate between the newest keyframe (most relevant) and the
         // rest of the window (forgetting protection), MonoGS-style.
@@ -100,10 +102,10 @@ Mapper::map(const gs::RenderPipeline &pipeline, gs::GaussianCloud &cloud,
         gs::ForwardContext ctx = pipeline.forward(cloud, cam);
         LossResult loss = computeLoss(ctx.result, kf.rgb, &kf.depth,
                                       config_.loss);
-        gs::BackwardResult back = pipeline.backward(
+        pipeline.backward(
             cloud, ctx, loss.dlDColor,
             config_.loss.useDepth ? &loss.dlDDepth : nullptr,
-            /*compute_pose_grad=*/false);
+            /*compute_pose_grad=*/false, back);
         optimizer_.step(cloud, back.grads);
 
         if (&kf == &window_.back())

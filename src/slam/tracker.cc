@@ -29,6 +29,11 @@ Tracker::track(const gs::RenderPipeline &pipeline,
     Real decay = Real(1);
     PoseOptimizer optimizer(config_.lrTranslation, config_.lrRotation);
 
+    // One gradient arena for the whole loop: each iteration's backward
+    // writes into it in place instead of re-allocating cloud-sized
+    // buffers per iteration.
+    gs::BackwardResult back;
+
     for (u32 it = 0; it < max_iters; ++it) {
         // Decayed learning rates damp the wander Adam's near-constant
         // step size causes once the loss floor is reached.
@@ -40,10 +45,10 @@ Tracker::track(const gs::RenderPipeline &pipeline,
         gs::ForwardContext ctx = pipeline.forward(cloud, cam);
         LossResult loss = computeLoss(ctx.result, rgb, depth,
                                       config_.loss);
-        gs::BackwardResult back = pipeline.backward(
+        pipeline.backward(
             cloud, ctx, loss.dlDColor,
             config_.loss.useDepth && depth ? &loss.dlDDepth : nullptr,
-            /*compute_pose_grad=*/true);
+            /*compute_pose_grad=*/true, back);
 
         result.lossHistory.push_back(loss.loss);
         result.totalFragments += ctx.result.totalFragments();

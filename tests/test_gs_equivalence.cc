@@ -153,6 +153,75 @@ TEST_P(PipelineEquivalence, ProjectionMatchesSerialReference)
     }
 }
 
+namespace
+{
+
+/**
+ * Tolerance for splat-major vs pixel-major backward agreement. The
+ * splat-major kernel recovers the per-fragment transmittance by
+ * dividing the running rear transmittance by (1 - alpha) instead of
+ * replaying the forward product, and folds per-(tile, splat) partial
+ * sums before the global reduction — both ulp-level perturbations
+ * *relative to the magnitudes being summed*. Because those sums cancel
+ * (gradients of hundreds collapse to order-one values), the bound must
+ * scale with the largest magnitude in the gradient class, not with the
+ * individual final value.
+ */
+template <typename Get>
+void
+expectClassNear(size_t n, const char *what, Get &&get)
+{
+    double scale = 1;
+    for (size_t k = 0; k < n; ++k)
+        scale = std::max(scale, std::abs(get(k).second));
+    const double tol = 5e-6 + 1e-5 * scale;
+    for (size_t k = 0; k < n; ++k) {
+        auto [a, b] = get(k);
+        EXPECT_NEAR(a, b, tol) << what << " k=" << k;
+    }
+}
+
+/** Compare every gradient class of two backward results. */
+void
+expectBackwardNear(const BackwardResult &par, const BackwardResult &ser,
+                   size_t n, bool check_pose)
+{
+    for (int c = 0; c < 3; ++c) {
+        expectClassNear(n, "dPositions", [&, c](size_t k) {
+            return std::pair<double, double>(par.grads.dPositions[k][c],
+                                             ser.grads.dPositions[k][c]);
+        });
+        expectClassNear(n, "dLogScales", [&, c](size_t k) {
+            return std::pair<double, double>(par.grads.dLogScales[k][c],
+                                             ser.grads.dLogScales[k][c]);
+        });
+        expectClassNear(n, "dShCoeffs", [&, c](size_t k) {
+            return std::pair<double, double>(par.grads.dShCoeffs[k][c],
+                                             ser.grads.dShCoeffs[k][c]);
+        });
+    }
+    expectClassNear(n, "dOpacityLogits", [&](size_t k) {
+        return std::pair<double, double>(par.grads.dOpacityLogits[k],
+                                         ser.grads.dOpacityLogits[k]);
+    });
+    expectClassNear(n, "grad2d.dDepth", [&](size_t k) {
+        return std::pair<double, double>(par.grad2d.dDepth[k],
+                                         ser.grad2d.dDepth[k]);
+    });
+    expectClassNear(n, "grad2d.dOpacityAct", [&](size_t k) {
+        return std::pair<double, double>(par.grad2d.dOpacityAct[k],
+                                         ser.grad2d.dOpacityAct[k]);
+    });
+    if (check_pose) {
+        expectClassNear(6, "poseGrad", [&](size_t c) {
+            return std::pair<double, double>(par.poseGrad[c],
+                                             ser.poseGrad[c]);
+        });
+    }
+}
+
+} // namespace
+
 TEST_P(PipelineEquivalence, BackwardMatchesSerialFull)
 {
     RandomScene scene(GetParam());
@@ -161,20 +230,82 @@ TEST_P(PipelineEquivalence, BackwardMatchesSerialFull)
     ForwardContext ctx = pipe.forward(scene.cloud, scene.camera);
 
     ImageRGB adj(ctx.grid.width, ctx.grid.height, {0.4f, -0.2f, 0.3f});
-    // Threaded backward vs the single-threaded walk over the same bins:
-    // identical per-tile math, different accumulation partitioning.
+    // Splat-major threaded backward vs the seed's pixel-major serial
+    // walk over the same bins.
     BackwardResult par =
         pipe.backward(scene.cloud, ctx, adj, nullptr, true);
     BackwardResult ser = backwardFull(
         scene.cloud, ctx.projected, ctx.bins, ctx.grid, settings,
         ctx.result, ctx.camera, adj, nullptr, true);
 
-    for (size_t k = 0; k < scene.cloud.size(); ++k) {
-        EXPECT_NEAR(par.grads.dPositions[k].x, ser.grads.dPositions[k].x,
-                    1e-4);
-        EXPECT_NEAR(par.grads.dOpacityLogits[k],
-                    ser.grads.dOpacityLogits[k], 1e-4);
-    }
+    expectBackwardNear(par, ser, scene.cloud.size(), true);
+}
+
+TEST_P(PipelineEquivalence, BackwardDepthGradMatchesSerialFull)
+{
+    // Depth-adjoint path: the splat-major kernel must reproduce the
+    // reference's dL/dDepth flow (the colour-only sweep above leaves
+    // dlD identically zero and would not catch a broken depth path).
+    RandomScene scene(GetParam());
+    RenderSettings settings;
+    RenderPipeline pipe(settings);
+    ForwardContext ctx = pipe.forward(scene.cloud, scene.camera);
+
+    ImageRGB adj(ctx.grid.width, ctx.grid.height, {0.2f, -0.1f, 0.25f});
+    ImageF adj_depth(ctx.grid.width, ctx.grid.height);
+    for (u32 y = 0; y < ctx.grid.height; ++y)
+        for (u32 x = 0; x < ctx.grid.width; ++x)
+            adj_depth.at(x, y) =
+                Real(0.05) * std::sin(Real(0.21) * x) +
+                Real(0.04) * std::cos(Real(0.17) * y);
+
+    BackwardResult par =
+        pipe.backward(scene.cloud, ctx, adj, &adj_depth, true);
+    BackwardResult ser = backwardFull(
+        scene.cloud, ctx.projected, ctx.bins, ctx.grid, settings,
+        ctx.result, ctx.camera, adj, &adj_depth, true);
+
+    // The depth adjoint must actually reach the 2D gradients.
+    Real total_ddepth = 0;
+    for (size_t k = 0; k < scene.cloud.size(); ++k)
+        total_ddepth += std::abs(ser.grad2d.dDepth[k]);
+    EXPECT_GT(total_ddepth, 0);
+
+    expectBackwardNear(par, ser, scene.cloud.size(), true);
+}
+
+TEST_P(PipelineEquivalence, BackwardClampedAlphaMatchesSerialFull)
+{
+    // Near-opaque splats push raw alpha = opacity * G above alphaMax at
+    // their cores, exercising the saturation branch (gradient through
+    // alpha zeroed, but colour/depth gradients and the compositing
+    // recurrences still run) that the uniform(0.05, 0.95) opacity
+    // sweeps never reach.
+    RandomScene scene(GetParam());
+    for (size_t k = 0; k < scene.cloud.size(); k += 2)
+        scene.cloud.opacityLogits[k] = inverseSigmoid(Real(0.999));
+
+    RenderSettings settings;
+    RenderPipeline pipe(settings);
+    ForwardContext ctx = pipe.forward(scene.cloud, scene.camera);
+
+    // At least one projected splat must be able to saturate.
+    Real max_opacity = 0;
+    for (size_t k = 0; k < ctx.projected.size(); ++k)
+        if (ctx.projected[k].valid)
+            max_opacity = std::max(max_opacity, ctx.projected[k].opacity);
+    ASSERT_GT(max_opacity, settings.alphaMax);
+
+    ImageRGB adj(ctx.grid.width, ctx.grid.height, {0.3f, 0.2f, -0.15f});
+    ImageF adj_depth(ctx.grid.width, ctx.grid.height, Real(0.03));
+
+    BackwardResult par =
+        pipe.backward(scene.cloud, ctx, adj, &adj_depth, true);
+    BackwardResult ser = backwardFull(
+        scene.cloud, ctx.projected, ctx.bins, ctx.grid, settings,
+        ctx.result, ctx.camera, adj, &adj_depth, true);
+
+    expectBackwardNear(par, ser, scene.cloud.size(), true);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineEquivalence,
