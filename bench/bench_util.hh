@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,14 @@ benchConfig(slam::BaseAlgorithm algo)
 /**
  * Run a full sequence, collecting per-frame hardware traces and
  * evaluation metrics.
+ *
+ * Trace-attribution caveat: with an async config (mapQueueDepth > 0)
+ * the mapping trace sampled into a keyframe's FrameTrace is whatever
+ * map iterations completed before that frame finished — possibly a
+ * previous keyframe's batch, or none (the row's own batch may still
+ * be queued). Benches that feed traces into hw::SystemModel should
+ * use sync configs (all current ones do); the async fig15 ablation
+ * only consumes reports/wall-clock, which are exact.
  */
 inline RunOutcome
 runSequence(data::SyntheticDataset &dataset,
@@ -109,20 +118,29 @@ runSequence(data::SyntheticDataset &dataset,
     RunOutcome out;
     hw::IterationTrace last_track, last_map;
     bool have_track = false, have_map = false;
+    // The map hook fires on a pool worker in async configurations;
+    // guard the map-side trace fields against the frame loop's reads.
+    std::mutex map_trace_mutex;
     u32 track_iters = 0;
 
     rtgs.setExternalTrackHook(
         [&](const slam::TrackIterationContext &ctx) {
+            // trackingCloud(): the cloud this iteration rendered (the
+            // COW clone in async mode — the authoritative cloud may be
+            // mid-mutation on a map worker there).
             last_track = hw::IterationTrace::capture(
-                *ctx.forward, rtgs.system().cloud().activeCount());
+                *ctx.forward,
+                rtgs.system().trackingCloud().activeCount());
             have_track = true;
             ++track_iters;
             out.fragments += ctx.forward->result.totalFragments();
         });
     rtgs.system().setMapIterationHook(
         [&](const slam::MapIterationContext &ctx) {
-            last_map = hw::IterationTrace::capture(
+            hw::IterationTrace trace = hw::IterationTrace::capture(
                 *ctx.forward, rtgs.system().cloud().activeCount());
+            std::lock_guard<std::mutex> lock(map_trace_mutex);
+            last_map = trace;
             have_map = true;
         });
 
@@ -133,14 +151,17 @@ runSequence(data::SyntheticDataset &dataset,
         hw::FrameTrace ft;
         ft.isKeyframe = report.base.isKeyframe;
         ft.trackIterations = have_track ? track_iters : 0;
-        ft.mapIterations =
-            report.base.isKeyframe && have_map
-                ? config.base.mapper.iterations
-                : 0;
         if (have_track)
             ft.tracking = last_track;
-        if (have_map)
-            ft.mapping = last_map;
+        {
+            std::lock_guard<std::mutex> lock(map_trace_mutex);
+            ft.mapIterations =
+                report.base.isKeyframe && have_map
+                    ? config.base.mapper.iterations
+                    : 0;
+            if (have_map)
+                ft.mapping = last_map;
+        }
         out.traces.push_back(std::move(ft));
         out.gt.push_back(dataset.gtPose(f));
         have_track = false;

@@ -60,8 +60,9 @@ AdaptiveGaussianPruner::maskLowImportance(gs::GaussianCloud &cloud)
     // Order active Gaussians by accumulated importance, ascending.
     std::vector<u32> order;
     order.reserve(active);
+    const auto &act = cloud.active.view();
     for (size_t k = 0; k < cloud.size(); ++k)
-        if (cloud.active[k])
+        if (act[k])
             order.push_back(static_cast<u32>(k));
     std::nth_element(order.begin(),
                      order.begin() + static_cast<long>(budget - 1),
@@ -69,8 +70,9 @@ AdaptiveGaussianPruner::maskLowImportance(gs::GaussianCloud &cloud)
                          return scoreAccum_[a] < scoreAccum_[b];
                      });
 
+    auto &mask = cloud.active.mut();
     for (size_t i = 0; i < budget; ++i) {
-        cloud.active[order[i]] = 0;
+        mask[order[i]] = 0;
         ++stats_.masked;
     }
 }
@@ -83,15 +85,19 @@ AdaptiveGaussianPruner::removeMasked(gs::GaussianCloud &cloud,
         return;
     std::vector<u8> keep(cloud.size(), 1);
     size_t removed = 0;
+    const auto &act = cloud.active.view();
     for (size_t k = 0; k < cloud.size(); ++k) {
-        if (!cloud.active[k]) {
+        if (!act[k]) {
             keep[k] = 0;
             ++removed;
         }
     }
-    cloud.compact(keep);
+    // Callback first: the async path translates the mask through the
+    // cloud's pre-compaction stable ids (the sync path's optimiser
+    // remap does not touch the cloud, so the order is free there).
     if (compact)
         compact(keep);
+    cloud.compact(keep);
     // Keep the score accumulator aligned with the compacted cloud.
     size_t w = 0;
     for (size_t k = 0; k < keep.size(); ++k)

@@ -7,38 +7,19 @@
 namespace rtgs::core
 {
 
-namespace
-{
-
-/** Sanitise the base config for the RTGS layer's hook-driven pruning. */
-slam::SlamConfig
-sanitizedBase(const RtgsSlamConfig &config)
-{
-    slam::SlamConfig base = config.base;
-    if (base.mapQueueDepth > 0 && config.enablePruning &&
-        config.pruneMethod != PruneMethod::None) {
-        // In-tracking pruning compacts the authoritative cloud from the
-        // frame loop while an async map job may hold it; the keep masks
-        // are computed against the tracking snapshot, so indices would
-        // not line up. Run mapping synchronously in that combination.
-        warn("async mapping (queue depth %u) is incompatible with "
-             "in-tracking pruning; falling back to synchronous mapping",
-             base.mapQueueDepth);
-        base.mapQueueDepth = 0;
-    }
-    return base;
-}
-
-} // namespace
-
 RtgsSlam::RtgsSlam(const RtgsSlamConfig &config,
                    const Intrinsics &intrinsics)
     : config_(config),
-      system_(std::make_unique<slam::SlamSystem>(sanitizedBase(config),
+      system_(std::make_unique<slam::SlamSystem>(config.base,
                                                  intrinsics)),
       pruner_(config.pruner), downsampler_(config.downsampler),
       taming_(500), gate_(config.gate)
 {
+    // In-tracking pruning now composes with asynchronous mapping: keep
+    // masks are computed against the per-frame tracking clone and
+    // translated onto the authoritative cloud through the snapshot
+    // generation's stable ids (SlamSystem::requestTrackingPrune), so no
+    // sync fallback is needed.
     config_.base = system_->config();
     installHooks();
 }
@@ -80,14 +61,31 @@ RtgsSlam::installHooks()
             if (!pruneThisFrame_)
                 return;
             if (config_.pruneMethod == PruneMethod::Rtgs) {
-                // Reuse this iteration's gradients and tile bins; on
-                // removal, mirror the compaction in the mapping
-                // optimiser state.
+                // Arm the pruner on the first iteration, when the
+                // cloud tracking actually renders is known — in async
+                // mode the per-frame clone only exists once tracking
+                // starts, and initialCount (the permanent denominator
+                // of the global prune cap) must come from it, not from
+                // the previous frame's clone.
+                if (ctx.iteration == 0)
+                    pruner_.beginFrame(system_->trackingCloud());
+                // Reuse this iteration's gradients and tile bins. The
+                // pruner mutates the cloud tracking renders against:
+                // the authoritative cloud in sync mode, the per-frame
+                // COW clone in async mode. On removal the compaction is
+                // mirrored either directly into the mapping optimiser
+                // (sync) or deferred through an id-translated prune
+                // request the next map batch applies (async; the
+                // callback runs before the clone is compacted, so the
+                // keep mask still indexes the clone's current ids).
                 pruner_.onIteration(
-                    system_->cloud(), ctx.backward->grads,
+                    system_->trackingCloud(), ctx.backward->grads,
                     ctx.forward->bins,
                     [this](const std::vector<u8> &keep) {
-                        system_->mapper().remapOptimizer(keep);
+                        if (system_->asyncMapping())
+                            system_->requestTrackingPrune(keep);
+                        else
+                            system_->mapper().remapOptimizer(keep);
                         taming_.remap(keep);
                     });
             } else if (config_.pruneMethod == PruneMethod::Taming) {
@@ -100,8 +98,11 @@ void
 RtgsSlam::applyTamingPrune()
 {
     // Taming prunes on its (noisy, under-warmed) trend scores with a
-    // fixed per-frame slice up to the same global cap.
-    auto &cloud = system_->cloud();
+    // fixed per-frame slice up to the same global cap. The scorer
+    // observed the tracking-side cloud, so the mask is computed and
+    // applied there; async mode forwards it to the authoritative map
+    // as an id-translated prune request.
+    auto &cloud = system_->trackingCloud();
     if (tamingInitial_ == 0)
         tamingInitial_ = cloud.size();
     double cap = config_.tamingMaxPruneRatio;
@@ -125,8 +126,11 @@ RtgsSlam::applyTamingPrune()
     for (u8 k : keep)
         removed += k ? 0 : 1;
     if (removed > 0) {
+        if (system_->asyncMapping())
+            system_->requestTrackingPrune(keep); // needs pre-compact ids
         cloud.compact(keep);
-        system_->mapper().remapOptimizer(keep);
+        if (!system_->asyncMapping())
+            system_->mapper().remapOptimizer(keep);
         taming_.remap(keep);
         tamingPruned_ += removed;
     }
@@ -199,10 +203,11 @@ RtgsSlam::processFrame(const data::Frame &frame)
 
     // Adaptive pruning runs during tracking iterations only; mapping
     // stages re-densify and would fight the mask otherwise.
+    // The Rtgs pruner is armed from the track hook's first iteration
+    // (it needs the cloud tracking actually renders, which in async
+    // mode is only cloned once tracking starts).
     pruneThisFrame_ = config_.enablePruning && !treat_as_keyframe &&
                       frame.index > 0;
-    if (pruneThisFrame_ && config_.pruneMethod == PruneMethod::Rtgs)
-        pruner_.beginFrame(system_->cloud());
 
     report.base = system_->processFrame(frame, scale, &predicted_kf,
                                         use_budget ? &budget : nullptr);

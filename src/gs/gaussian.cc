@@ -2,17 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace rtgs::gs
 {
+
+namespace detail
+{
+
+void
+parallelCopyBytes(void *dst, const void *src, size_t bytes)
+{
+    if (bytes == 0)
+        return; // empty columns have null data(); memcpy(null) is UB
+    // Below this size the parallelFor dispatch costs more than the copy.
+    constexpr size_t parallelThreshold = size_t(1) << 20;
+    if (bytes < parallelThreshold || globalPool().size() <= 1) {
+        std::memcpy(dst, src, bytes);
+        return;
+    }
+    auto *d = static_cast<char *>(dst);
+    const auto *s = static_cast<const char *>(src);
+    globalPool().parallelForChunks(0, bytes,
+                                   [d, s](size_t lo, size_t hi) {
+                                       std::memcpy(d + lo, s + lo,
+                                                   hi - lo);
+                                   });
+}
+
+} // namespace detail
 
 size_t
 GaussianCloud::activeCount() const
 {
     size_t n = 0;
-    for (u8 a : active)
+    for (u8 a : active.view())
         n += a ? 1 : 0;
     return n;
 }
@@ -21,12 +48,13 @@ void
 GaussianCloud::push(const Vec3f &pos, const Vec3f &log_scale,
                     const Quatf &rot, Real opacity_logit, const Vec3f &sh)
 {
-    positions.push_back(pos);
-    logScales.push_back(log_scale);
-    rotations.push_back(rot);
-    opacityLogits.push_back(opacity_logit);
-    shCoeffs.push_back(sh);
-    active.push_back(1);
+    positions.mut().push_back(pos);
+    logScales.mut().push_back(log_scale);
+    rotations.mut().push_back(rot);
+    opacityLogits.mut().push_back(opacity_logit);
+    shCoeffs.mut().push_back(sh);
+    active.mut().push_back(1);
+    ids.mut().push_back(nextId_++);
 }
 
 void
@@ -43,55 +71,105 @@ void
 GaussianCloud::compact(const std::vector<u8> &keep)
 {
     rtgs_assert(keep.size() == size());
+    // All-kept masks are common (e.g. prune requests the map already
+    // absorbed); don't re-materialise seven columns for a no-op.
+    if (std::find(keep.begin(), keep.end(), u8(0)) == keep.end())
+        return;
+    auto &pos = positions.mut();
+    auto &scl = logScales.mut();
+    auto &rot = rotations.mut();
+    auto &opa = opacityLogits.mut();
+    auto &sh = shCoeffs.mut();
+    auto &act = active.mut();
+    auto &id = ids.mut();
     size_t w = 0;
-    for (size_t r = 0; r < size(); ++r) {
+    for (size_t r = 0; r < keep.size(); ++r) {
         if (!keep[r])
             continue;
         if (w != r) {
-            positions[w] = positions[r];
-            logScales[w] = logScales[r];
-            rotations[w] = rotations[r];
-            opacityLogits[w] = opacityLogits[r];
-            shCoeffs[w] = shCoeffs[r];
-            active[w] = active[r];
+            pos[w] = pos[r];
+            scl[w] = scl[r];
+            rot[w] = rot[r];
+            opa[w] = opa[r];
+            sh[w] = sh[r];
+            act[w] = act[r];
+            id[w] = id[r];
         }
         ++w;
     }
-    positions.resize(w);
-    logScales.resize(w);
-    rotations.resize(w);
-    opacityLogits.resize(w);
-    shCoeffs.resize(w);
-    active.resize(w);
+    pos.resize(w);
+    scl.resize(w);
+    rot.resize(w);
+    opa.resize(w);
+    sh.resize(w);
+    act.resize(w);
+    id.resize(w);
+}
+
+std::vector<u8>
+GaussianCloud::translateKeepMask(
+    const std::vector<u64> &dropped_ids) const
+{
+    // Both id sequences are strictly increasing (push assigns
+    // monotonically, compact preserves order), so a two-pointer merge
+    // suffices. Ids this cloud no longer holds are skipped; ids it
+    // gained since the mask was computed are kept.
+    const auto &mine = ids.view();
+    std::vector<u8> keep(mine.size(), 1);
+    size_t d = 0;
+    for (size_t k = 0; k < mine.size() && d < dropped_ids.size(); ++k) {
+        while (d < dropped_ids.size() && dropped_ids[d] < mine[k])
+            ++d;
+        if (d < dropped_ids.size() && dropped_ids[d] == mine[k])
+            keep[k] = 0;
+    }
+    return keep;
 }
 
 void
 GaussianCloud::reserve(size_t n)
 {
-    positions.reserve(n);
-    logScales.reserve(n);
-    rotations.reserve(n);
-    opacityLogits.reserve(n);
-    shCoeffs.reserve(n);
-    active.reserve(n);
+    positions.mut().reserve(n);
+    logScales.mut().reserve(n);
+    rotations.mut().reserve(n);
+    opacityLogits.mut().reserve(n);
+    shCoeffs.mut().reserve(n);
+    active.mut().reserve(n);
+    ids.mut().reserve(n);
 }
 
 void
 GaussianCloud::clear()
 {
-    positions.clear();
-    logScales.clear();
-    rotations.clear();
-    opacityLogits.clear();
-    shCoeffs.clear();
-    active.clear();
+    positions.mut().clear();
+    logScales.mut().clear();
+    rotations.mut().clear();
+    opacityLogits.mut().clear();
+    shCoeffs.mut().clear();
+    active.mut().clear();
+    ids.mut().clear();
 }
 
 size_t
 GaussianCloud::parameterBytes() const
 {
     // pos(12) + logScale(12) + quat(16) + opacity(4) + sh(12) + mask(1)
+    // (the stable-id column is COW bookkeeping, not a model parameter)
     return size() * (12 + 12 + 16 + 4 + 12 + 1);
+}
+
+size_t
+GaussianCloud::sharedColumnsWith(const GaussianCloud &other) const
+{
+    size_t n = 0;
+    n += positions.shares(other.positions) ? 1 : 0;
+    n += logScales.shares(other.logScales) ? 1 : 0;
+    n += rotations.shares(other.rotations) ? 1 : 0;
+    n += opacityLogits.shares(other.opacityLogits) ? 1 : 0;
+    n += shCoeffs.shares(other.shCoeffs) ? 1 : 0;
+    n += active.shares(other.active) ? 1 : 0;
+    n += ids.shares(other.ids) ? 1 : 0;
+    return n;
 }
 
 void

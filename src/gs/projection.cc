@@ -83,6 +83,15 @@ projectGaussians(const GaussianCloud &cloud, const Camera &camera,
     const Intrinsics &intr = camera.intr;
     const Real inf = std::numeric_limits<Real>::infinity();
 
+    // Hoist the COW column views once; the loop then reads plain
+    // vectors (no per-access shared-pointer indirection).
+    const auto &active = cloud.active.view();
+    const auto &positions = cloud.positions.view();
+    const auto &rotations = cloud.rotations.view();
+    const auto &log_scales = cloud.logScales.view();
+    const auto &sh_coeffs = cloud.shCoeffs.view();
+    const auto &opacity_logits = cloud.opacityLogits.view();
+
     // Each Gaussian writes only its own AoS record and SoA slots, so the
     // loop is embarrassingly parallel and deterministic.
     globalPool().parallelForChunks(
@@ -90,10 +99,10 @@ projectGaussians(const GaussianCloud &cloud, const Camera &camera,
         for (size_t k = lo; k < hi; ++k) {
             Projected2D &p = out.items[k];
             out.soa.powerSkip[k] = inf; // culled entries skip everything
-            if (!cloud.active[k])
+            if (!active[k])
                 continue;
 
-            Vec3f t = camera.pose.apply(cloud.positions[k]);
+            Vec3f t = camera.pose.apply(positions[k]);
             if (t.z < settings.nearClip || t.z > settings.farClip)
                 continue;
 
@@ -102,10 +111,10 @@ projectGaussians(const GaussianCloud &cloud, const Camera &camera,
 
             // 3D covariance from scale and rotation: Sigma = M M^T,
             // M = R S.
-            Mat3f R = cloud.rotations[k].toMat();
-            Vec3f scale{std::exp(cloud.logScales[k].x),
-                        std::exp(cloud.logScales[k].y),
-                        std::exp(cloud.logScales[k].z)};
+            Mat3f R = rotations[k].toMat();
+            Vec3f scale{std::exp(log_scales[k].x),
+                        std::exp(log_scales[k].y),
+                        std::exp(log_scales[k].z)};
             Mat3f M = R * Mat3f::diagonal(scale);
             Mat3f sigma3d = M * M.transpose();
 
@@ -144,9 +153,9 @@ projectGaussians(const GaussianCloud &cloud, const Camera &camera,
             p.depth = t.z;
             p.cov2d = cov2d;
             p.conic = cov_blur.inverse();
-            p.opacity = cloud.opacity(k);
+            p.opacity = sigmoid(opacity_logits[k]);
 
-            Vec3f raw = cloud.shCoeffs[k] * shC0 + Vec3f{0.5f, 0.5f, 0.5f};
+            Vec3f raw = sh_coeffs[k] * shC0 + Vec3f{0.5f, 0.5f, 0.5f};
             p.color = {std::max(Real(0), raw.x), std::max(Real(0), raw.y),
                        std::max(Real(0), raw.z)};
             p.colorClampMask = {raw.x > 0 ? Real(1) : Real(0),

@@ -6,8 +6,9 @@
 namespace rtgs::slam
 {
 
-MapWorker::MapWorker(size_t queue_depth, RunFn run)
-    : queue_(queue_depth), run_(std::move(run))
+MapWorker::MapWorker(size_t queue_depth, size_t batch_size, RunFn run)
+    : queue_(queue_depth), batchSize_(batch_size == 0 ? 1 : batch_size),
+      run_(std::move(run))
 {
 }
 
@@ -45,8 +46,9 @@ MapWorker::enqueue(MapJob job)
 void
 MapWorker::drainLoop()
 {
+    std::vector<MapJob> batch;
     for (;;) {
-        MapJob job;
+        batch.clear();
         {
             // Pop-or-retire atomically with the drainer flag, so a
             // producer that pushes just after the queue looks empty
@@ -56,24 +58,37 @@ MapWorker::drainLoop()
             // drain() waits for !drainerActive_, so this MapWorker can
             // only be destroyed after the drainer has fully let go.
             std::lock_guard<std::mutex> lock(statusMutex_);
+            MapJob job;
             if (!queue_.tryPop(job)) {
                 drainerActive_ = false;
                 statusCv_.notify_all();
                 return;
             }
+            batch.push_back(std::move(job));
+        }
+        // Opportunistically absorb whatever else is already queued, up
+        // to the batch cap. Only this drainer pops, so FIFO order is
+        // preserved; a miss here is caught by the next loop iteration.
+        while (batch.size() < batchSize_) {
+            MapJob job;
+            if (!queue_.tryPop(job))
+                break;
+            batch.push_back(std::move(job));
         }
         try {
-            run_(job);
+            run_(batch);
         } catch (const std::exception &e) {
             // A lost exception must not wedge drain() forever.
-            warn("map job for frame %u failed: %s",
-                 job.record.frameIndex, e.what());
+            warn("map batch of %zu job(s) starting at frame %u failed: "
+                 "%s",
+                 batch.size(), batch.front().record.frameIndex, e.what());
         } catch (...) {
-            warn("map job for frame %u failed", job.record.frameIndex);
+            warn("map batch of %zu job(s) starting at frame %u failed",
+                 batch.size(), batch.front().record.frameIndex);
         }
         {
             std::lock_guard<std::mutex> lock(statusMutex_);
-            ++completed_;
+            completed_ += batch.size();
         }
     }
 }

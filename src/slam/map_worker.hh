@@ -9,11 +9,17 @@
  *  - The frame loop (producer) pushes one MapJob per keyframe; when
  *    `queue_depth` jobs are already pending, push blocks — bounded
  *    staleness backpressure.
- *  - At most ONE drain task exists at a time: it loops, popping and
- *    running jobs until the queue is empty, then retires. A push that
- *    finds no active drainer spawns one on the ThreadPool. Jobs run
- *    strictly FIFO, and no pool worker ever parks waiting for another
- *    job to finish (tracking's parallelFor keeps its workers).
+ *  - At most ONE drain task exists at a time: it loops, popping up to
+ *    `batch_size` queued jobs per iteration and running them as one
+ *    batch, until the queue is empty, then retires. A push that finds
+ *    no active drainer spawns one on the ThreadPool. Jobs run strictly
+ *    FIFO (within and across batches), and no pool worker ever parks
+ *    waiting for another job to finish (tracking's parallelFor keeps
+ *    its workers).
+ *  - Batching amortises per-drain setup (state-lock acquisition,
+ *    snapshot publication, scratch-arena checkout) across keyframe
+ *    bursts: when several keyframes are queued — rotation onset, a new
+ *    room — they drain as one batch instead of FIFO-serially.
  *  - drain() blocks until every enqueued job has finished; the
  *    destructor drains implicitly.
  */
@@ -25,6 +31,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "common/bounded_queue.hh"
 #include "slam/keyframe.hh"
@@ -41,17 +48,19 @@ struct MapJob
     size_t reportIndex = 0;     //!< row in SlamSystem::reports_ to fill
 };
 
-/** Bounded asynchronous executor for keyframe mapping jobs. */
+/** Bounded asynchronous batch executor for keyframe mapping jobs. */
 class MapWorker
 {
   public:
-    using RunFn = std::function<void(MapJob &job)>;
+    /** Executes one FIFO batch of jobs (called on a pool worker). */
+    using RunFn = std::function<void(std::vector<MapJob> &batch)>;
 
     /**
      * @param queue_depth max pending jobs before enqueue() blocks (>= 1)
-     * @param run         executes one job (called on a pool worker)
+     * @param batch_size  max jobs popped per drain iteration (>= 1)
+     * @param run         executes one batch (called on a pool worker)
      */
-    MapWorker(size_t queue_depth, RunFn run);
+    MapWorker(size_t queue_depth, size_t batch_size, RunFn run);
     ~MapWorker();
 
     MapWorker(const MapWorker &) = delete;
@@ -63,10 +72,13 @@ class MapWorker
     /** Wait until all jobs submitted so far have completed. */
     void drain();
 
+    size_t batchSize() const { return batchSize_; }
+
   private:
     void drainLoop();
 
     BoundedQueue<MapJob> queue_;
+    size_t batchSize_;
     RunFn run_;
 
     mutable std::mutex statusMutex_;

@@ -74,22 +74,39 @@ Mapper::densify(const gs::RenderPipeline &pipeline,
     return added;
 }
 
+void
+Mapper::mapBatch(const gs::RenderPipeline &pipeline,
+                 gs::GaussianCloud &cloud, const Intrinsics &intr,
+                 std::vector<MapBatchItem> &items,
+                 const MapIterationHook &hook)
+{
+    // One gradient arena for the whole batch: each keyframe's mapping
+    // iterations write into it in place, so a burst of queued keyframes
+    // pays the cloud-sized allocation once instead of once per job.
+    gs::BackwardResult back;
+    for (MapBatchItem &item : items) {
+        u32 max_iters = config_.iterations;
+        if (item.iterationBudget > 0)
+            max_iters = std::min(max_iters, item.iterationBudget);
+        item.densified = densify(pipeline, cloud, intr, item.record);
+        addKeyframe(std::move(item.record));
+        item.mapLoss =
+            mapIterations(pipeline, cloud, intr, hook, max_iters, back);
+        pruneTransparent(cloud);
+    }
+}
+
 double
-Mapper::map(const gs::RenderPipeline &pipeline, gs::GaussianCloud &cloud,
-            const Intrinsics &intr, const MapIterationHook &hook,
-            u32 iteration_budget)
+Mapper::mapIterations(const gs::RenderPipeline &pipeline,
+                      gs::GaussianCloud &cloud, const Intrinsics &intr,
+                      const MapIterationHook &hook, u32 max_iters,
+                      gs::BackwardResult &back)
 {
     if (window_.empty() || cloud.empty())
         return 0;
 
-    u32 max_iters = config_.iterations;
-    if (iteration_budget > 0)
-        max_iters = std::min(max_iters, iteration_budget);
-
     optimizer_.ensureSize(cloud.size());
     double final_loss = 0;
-    // One gradient arena reused across all mapping iterations.
-    gs::BackwardResult back;
     for (u32 it = 0; it < max_iters; ++it) {
         // Alternate between the newest keyframe (most relevant) and the
         // rest of the window (forgetting protection), MonoGS-style.

@@ -11,6 +11,7 @@
 
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "gs/render_pipeline.hh"
 #include "slam/loss.hh"
@@ -61,6 +62,18 @@ struct MapIterationContext
 
 using MapIterationHook = std::function<void(const MapIterationContext &)>;
 
+/**
+ * One keyframe's slot in a mapping batch: the record + budget going in,
+ * the per-keyframe outcome coming back out.
+ */
+struct MapBatchItem
+{
+    KeyframeRecord record;   //!< consumed (moved into the window)
+    u32 iterationBudget = 0; //!< 0 = mapper config default
+    double mapLoss = 0;      //!< final loss for this keyframe
+    size_t densified = 0;    //!< Gaussians inserted for this keyframe
+};
+
 /** Keyframe mapper; owns the keyframe window and the map optimiser. */
 class Mapper
 {
@@ -86,18 +99,20 @@ class Mapper
                    const KeyframeRecord &record);
 
     /**
-     * Run the mapping iterations over the keyframe window, updating the
-     * cloud in place.
-     *
-     * @param iteration_budget cap on iterations for this keyframe (the
-     *        similarity gate's scaled budget); 0 keeps the configured
-     *        count. Never raises it above the configuration.
-     * @return final loss over the most recent keyframe
+     * Run a FIFO batch of keyframes through the full mapping recipe
+     * (densify → admit → optimise → prune transparent, per keyframe),
+     * sharing one backward gradient arena across every iteration of the
+     * batch instead of re-allocating it per keyframe. This is the ONE
+     * authoritative copy of the recipe: the sync path runs a one-item
+     * batch, so sync/async byte-identity holds by construction; larger
+     * batches amortise the per-drain setup the asynchronous map worker
+     * would otherwise pay per job. Per-item iteration budgets cap the
+     * configured count (0 keeps it; never raises it).
      */
-    double map(const gs::RenderPipeline &pipeline,
-               gs::GaussianCloud &cloud, const Intrinsics &intr,
-               const MapIterationHook &hook = nullptr,
-               u32 iteration_budget = 0);
+    void mapBatch(const gs::RenderPipeline &pipeline,
+                  gs::GaussianCloud &cloud, const Intrinsics &intr,
+                  std::vector<MapBatchItem> &items,
+                  const MapIterationHook &hook = nullptr);
 
     /** Remove near-transparent Gaussians; returns how many were cut. */
     size_t pruneTransparent(gs::GaussianCloud &cloud);
@@ -112,6 +127,13 @@ class Mapper
     void reset();
 
   private:
+    /** The mapping iteration loop, writing into a caller-owned
+     *  gradient arena (shared across a batch's keyframes). */
+    double mapIterations(const gs::RenderPipeline &pipeline,
+                         gs::GaussianCloud &cloud, const Intrinsics &intr,
+                         const MapIterationHook &hook, u32 max_iters,
+                         gs::BackwardResult &back);
+
     MapperConfig config_;
     std::deque<KeyframeRecord> window_;
     MapOptimizer optimizer_;

@@ -92,41 +92,50 @@ MapOptimizer::step(gs::GaussianCloud &cloud, const gs::CloudGrads &grads)
     Real bias2 = 1 - std::pow(adam_.beta2,
                               static_cast<Real>(stepCount_));
 
+    // One re-materialisation per mutated COW column up front (a no-op
+    // while the cloud is unshared), not one aliasing check per lane.
+    const auto &active = cloud.active.view();
+    auto &positions = cloud.positions.mut();
+    auto &log_scales = cloud.logScales.mut();
+    auto &rotations = cloud.rotations.mut();
+    auto &opacity_logits = cloud.opacityLogits.mut();
+    auto &sh_coeffs = cloud.shCoeffs.mut();
+
     for (size_t k = 0; k < cloud.size(); ++k) {
-        if (!cloud.active[k])
+        if (!active[k])
             continue;
         for (int c = 0; c < 3; ++c) {
-            cloud.positions[k][c] +=
+            positions[k][c] +=
                 adamLane(grads.dPositions[k][c], mPos_[k][c], vPos_[k][c],
                          lrs_.position, adam_, bias1, bias2);
-            cloud.logScales[k][c] +=
+            log_scales[k][c] +=
                 adamLane(grads.dLogScales[k][c], mScale_[k][c],
                          vScale_[k][c], lrs_.logScale, adam_, bias1, bias2);
-            cloud.shCoeffs[k][c] +=
+            sh_coeffs[k][c] +=
                 adamLane(grads.dShCoeffs[k][c], mSh_[k][c], vSh_[k][c],
                          lrs_.sh, adam_, bias1, bias2);
         }
-        cloud.rotations[k].w +=
+        rotations[k].w +=
             adamLane(grads.dRotations[k].w, mRot_[k].w, vRot_[k].w,
                      lrs_.rotation, adam_, bias1, bias2);
-        cloud.rotations[k].x +=
+        rotations[k].x +=
             adamLane(grads.dRotations[k].x, mRot_[k].x, vRot_[k].x,
                      lrs_.rotation, adam_, bias1, bias2);
-        cloud.rotations[k].y +=
+        rotations[k].y +=
             adamLane(grads.dRotations[k].y, mRot_[k].y, vRot_[k].y,
                      lrs_.rotation, adam_, bias1, bias2);
-        cloud.rotations[k].z +=
+        rotations[k].z +=
             adamLane(grads.dRotations[k].z, mRot_[k].z, vRot_[k].z,
                      lrs_.rotation, adam_, bias1, bias2);
-        cloud.opacityLogits[k] +=
+        opacity_logits[k] +=
             adamLane(grads.dOpacityLogits[k], mOpa_[k], vOpa_[k],
                      lrs_.opacity, adam_, bias1, bias2);
         // Clamp the raw parameters to sane numeric ranges.
-        cloud.opacityLogits[k] =
-            std::clamp(cloud.opacityLogits[k], Real(-9), Real(9));
+        opacity_logits[k] =
+            std::clamp(opacity_logits[k], Real(-9), Real(9));
         for (int c = 0; c < 3; ++c) {
-            cloud.logScales[k][c] =
-                std::clamp(cloud.logScales[k][c], Real(-8), Real(2));
+            log_scales[k][c] =
+                std::clamp(log_scales[k][c], Real(-8), Real(2));
         }
     }
 }

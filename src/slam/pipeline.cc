@@ -123,15 +123,120 @@ SlamSystem::SlamSystem(const SlamConfig &config,
 
     if (config.mapQueueDepth > 0) {
         mapWorker_ = std::make_unique<MapWorker>(
-            config.mapQueueDepth, [this](MapJob &job) { runMapJob(job); });
+            config.mapQueueDepth, std::max<u32>(1, config.mapBatchSize),
+            [this](std::vector<MapJob> &jobs) { runMapBatch(jobs); });
     }
 }
 
 void
 SlamSystem::waitForMapping()
 {
-    if (mapWorker_)
-        mapWorker_->drain();
+    if (!mapWorker_)
+        return;
+    mapWorker_->drain();
+    // Prunes requested after the last map batch have no job left to
+    // carry them; fold them in now so cloud() honours every tracking
+    // decision once this returns.
+    if (pendingPruneCount() > 0) {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        applyPendingPrunesLocked();
+        // Publish even when the translation dropped nothing: apply
+        // marked the requests as applied-in the next generation, and
+        // that generation must exist for clone refreshes to garbage-
+        // collect them (a COW publish costs refcount bumps).
+        publishSnapshotLocked(lastPublishedFrame_);
+    }
+}
+
+gs::GaussianCloud &
+SlamSystem::trackingCloud()
+{
+    return mapWorker_ ? trackCloud_ : cloud_;
+}
+
+const gs::GaussianCloud &
+SlamSystem::trackingCloud() const
+{
+    return mapWorker_ ? trackCloud_ : cloud_;
+}
+
+void
+SlamSystem::requestTrackingPrune(const std::vector<u8> &keep)
+{
+    rtgs_assert(mapWorker_ != nullptr);
+    rtgs_assert(keep.size() == trackCloud_.size());
+    PendingPrune prune;
+    const auto &ids = trackCloud_.ids.view();
+    for (size_t k = 0; k < keep.size(); ++k)
+        if (!keep[k])
+            prune.ids.push_back(ids[k]); // ascending: ids are sorted
+    if (prune.ids.empty())
+        return;
+    std::lock_guard<std::mutex> lock(pruneMutex_);
+    pendingPrunes_.push_back(std::move(prune));
+}
+
+size_t
+SlamSystem::pendingPruneCount() const
+{
+    std::lock_guard<std::mutex> lock(pruneMutex_);
+    size_t n = 0;
+    for (const PendingPrune &p : pendingPrunes_)
+        n += p.appliedInGeneration == 0 ? 1 : 0;
+    return n;
+}
+
+void
+SlamSystem::setRenderPool(ThreadPool *pool)
+{
+    pipeline_.setPool(pool);
+}
+
+bool
+SlamSystem::applyPendingPrunesLocked()
+{
+    std::vector<u64> dropped;
+    {
+        std::lock_guard<std::mutex> lock(pruneMutex_);
+        for (PendingPrune &p : pendingPrunes_) {
+            if (p.appliedInGeneration != 0)
+                continue;
+            dropped.insert(dropped.end(), p.ids.begin(), p.ids.end());
+            // The generation this batch/flush publishes next; clone
+            // refreshes garbage-collect the entry once a snapshot of at
+            // least that generation is visible.
+            p.appliedInGeneration = mapGeneration_ + 1;
+        }
+    }
+    if (dropped.empty())
+        return false;
+    std::sort(dropped.begin(), dropped.end());
+    std::vector<u8> keep = cloud_.translateKeepMask(dropped);
+    size_t removed = 0;
+    for (u8 k : keep)
+        removed += k ? 0 : 1;
+    if (removed == 0)
+        return false;
+    cloud_.compact(keep);
+    mapper_.remapOptimizer(keep);
+    return true;
+}
+
+double
+SlamSystem::publishSnapshotLocked(u32 last_mapped_frame)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto snapshot = std::make_shared<TrackingSnapshot>();
+    snapshot->cloud = cloud_; // COW: one refcount bump per column
+    snapshot->generation = ++mapGeneration_;
+    snapshot->lastMappedFrame = last_mapped_frame;
+    lastPublishedFrame_ = last_mapped_frame;
+    {
+        std::lock_guard<std::mutex> snap(snapshotMutex_);
+        trackingSnapshot_ = std::move(snapshot);
+    }
+    return std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
 }
 
 void
@@ -357,12 +462,14 @@ SlamSystem::stageTrack(const data::Frame &frame, Real tracking_scale,
         u32 track_budget = budget ? budget->trackIterations : 0;
         TrackResult tr;
         if (mapWorker_) {
-            // Async mode: render against the latest published snapshot
-            // so the map stage can mutate the authoritative cloud
-            // concurrently.
-            std::shared_ptr<const gs::GaussianCloud> snapshot =
-                snapshotCloud();
-            tr = tracker_.track(pipeline_, *snapshot, obs.intr, guess,
+            // Async mode: render against a copy-on-write clone of the
+            // latest published snapshot (O(columns), no cloud copy) so
+            // the map stage can mutate the authoritative cloud
+            // concurrently. The clone is mutable on purpose: the RTGS
+            // pruning hook masks/compacts it mid-frame exactly as it
+            // would the authoritative cloud in sync mode.
+            refreshTrackingClone(frame, report);
+            tr = tracker_.track(pipeline_, trackCloud_, obs.intr, guess,
                                 obs.rgb(), &obs.depth(), trackHook_,
                                 track_budget);
         } else {
@@ -404,12 +511,15 @@ double
 SlamSystem::mapKeyframe(KeyframeRecord record, u32 iteration_budget,
                         size_t &densified)
 {
-    densified = mapper_.densify(pipeline_, cloud_, intrinsics_, record);
-    mapper_.addKeyframe(std::move(record));
-    double loss = mapper_.map(pipeline_, cloud_, intrinsics_, mapHook_,
-                              iteration_budget);
-    mapper_.pruneTransparent(cloud_);
-    return loss;
+    // One-item batch: Mapper::mapBatch is the single authoritative
+    // copy of the mapping recipe (densify -> admit -> optimise ->
+    // prune transparent) for both the sync and async paths.
+    std::vector<MapBatchItem> items(1);
+    items[0].record = std::move(record);
+    items[0].iterationBudget = iteration_budget;
+    mapper_.mapBatch(pipeline_, cloud_, intrinsics_, items, mapHook_);
+    densified = items[0].densified;
+    return items[0].mapLoss;
 }
 
 void
@@ -448,49 +558,66 @@ SlamSystem::stageEnqueueMap(const data::Frame &frame, const SE3 &pose,
 }
 
 void
-SlamSystem::runMapJob(MapJob &job)
+SlamSystem::runMapBatch(std::vector<MapJob> &jobs)
 {
     auto t0 = std::chrono::steady_clock::now();
     StageProfiler::Scope scope(profiler_, "mapping");
 
-    size_t densified, count, bytes;
-    double map_loss;
+    std::vector<MapBatchItem> items(jobs.size());
+    u32 last_frame = jobs.back().record.frameIndex;
+    size_t count, bytes;
+    double publish_seconds;
+    u64 generation;
     {
         std::lock_guard<std::mutex> lock(stateMutex_);
-        map_loss = mapKeyframe(std::move(job.record),
-                               job.mapIterationBudget, densified);
+        // Fold tracking-side prune decisions in first so this batch
+        // optimises the cloud the tracker actually kept.
+        applyPendingPrunesLocked();
+
+        for (size_t j = 0; j < jobs.size(); ++j) {
+            items[j].record = std::move(jobs[j].record);
+            items[j].iterationBudget = jobs[j].mapIterationBudget;
+        }
+        mapper_.mapBatch(pipeline_, cloud_, intrinsics_, items, mapHook_);
+
         count = cloud_.size();
         bytes = cloud_.parameterBytes();
         peakBytes_ = std::max(peakBytes_, bytes);
 
-        // Publish the finished map for tracking: an immutable snapshot
-        // swapped in under its own lock, so subsequent frames track
-        // against the newest *completed* map without ever waiting on an
-        // in-flight job. The copy runs here on the worker, overlapped
-        // with tracking.
-        auto snapshot = std::make_shared<const gs::GaussianCloud>(cloud_);
-        std::lock_guard<std::mutex> snap(snapshotMutex_);
-        trackingSnapshot_ = std::move(snapshot);
+        // Publish ONE immutable snapshot generation for the whole
+        // batch — a refcount bump per column, not a cloud copy.
+        // Subsequent frames track against the newest *completed* map
+        // without ever waiting on an in-flight batch.
+        publish_seconds = publishSnapshotLocked(last_frame);
+        generation = mapGeneration_;
     }
     double seconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0).count();
 
     std::lock_guard<std::mutex> lock(reportMutex_);
-    rtgs_assert(job.reportIndex < reports_.size());
-    FrameReport &row = reports_[job.reportIndex];
-    row.densified = densified;
-    row.mapLoss = map_loss;
-    row.mapSeconds = seconds;
-    row.gaussianCount = count;
-    row.gaussianBytes = bytes;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        rtgs_assert(jobs[j].reportIndex < reports_.size());
+        FrameReport &row = reports_[jobs[j].reportIndex];
+        row.densified = items[j].densified;
+        row.mapLoss = items[j].mapLoss;
+        // Batch wall time amortised over its jobs (rows sum to the
+        // true batch cost).
+        row.mapSeconds = seconds / static_cast<double>(jobs.size());
+        row.gaussianCount = count;
+        row.gaussianBytes = bytes;
+        row.mapBatchJobs = static_cast<u32>(jobs.size());
+        row.publishedGeneration = generation;
+        row.snapshotPublishSeconds =
+            j + 1 == jobs.size() ? publish_seconds : 0;
+    }
 }
 
-std::shared_ptr<const gs::GaussianCloud>
+std::shared_ptr<const TrackingSnapshot>
 SlamSystem::snapshotCloud()
 {
     {
         std::lock_guard<std::mutex> lock(snapshotMutex_);
-        if (trackingSnapshot_ && !trackingSnapshot_->empty())
+        if (trackingSnapshot_ && !trackingSnapshot_->cloud.empty())
             return trackingSnapshot_;
     }
     // Bootstrap: the first keyframe's mapping may still be in flight;
@@ -498,8 +625,91 @@ SlamSystem::snapshotCloud()
     waitForMapping();
     std::lock_guard<std::mutex> lock(snapshotMutex_);
     if (!trackingSnapshot_)
-        trackingSnapshot_ = std::make_shared<const gs::GaussianCloud>();
+        trackingSnapshot_ = std::make_shared<const TrackingSnapshot>();
     return trackingSnapshot_;
+}
+
+void
+SlamSystem::refreshTrackingClone(const data::Frame &frame,
+                                 FrameReport &report)
+{
+    std::shared_ptr<const TrackingSnapshot> snap = snapshotCloud();
+    if (snap->generation == trackCloneGeneration_) {
+        // No new publication since the last clone: the current clone
+        // already carries every tracking-side prune and mask, so
+        // re-deriving it (and re-materialising columns) is redundant.
+        report.snapshotGeneration = snap->generation;
+        report.snapshotStaleFrames =
+            frame.index > snap->lastMappedFrame
+                ? frame.index - snap->lastMappedFrame
+                : 0;
+        return;
+    }
+
+    // Tracking-side mask state (the RTGS pruner's grace-interval masks)
+    // lives only in the clone's active column; collect it before the
+    // refresh so it persists across frames by stable id, exactly as a
+    // mask persists in the authoritative cloud in sync mode. The scan
+    // is a byte pass and masked_prev is empty whenever pruning is off.
+    std::vector<u64> masked_prev;
+    {
+        const auto &act = trackCloud_.active.view();
+        const auto &ids = trackCloud_.ids.view();
+        for (size_t k = 0; k < act.size(); ++k)
+            if (!act[k])
+                masked_prev.push_back(ids[k]); // ascending
+    }
+
+    trackCloud_ = snap->cloud; // COW: one refcount bump per column
+    trackCloneGeneration_ = snap->generation;
+
+    // Filter out entries the tracker already pruned but no map batch
+    // has absorbed yet, and garbage-collect requests that a published
+    // generation has since made permanent.
+    std::vector<u64> dropped;
+    {
+        std::lock_guard<std::mutex> lock(pruneMutex_);
+        auto alive = pendingPrunes_.begin();
+        for (auto it = pendingPrunes_.begin();
+             it != pendingPrunes_.end(); ++it) {
+            if (it->appliedInGeneration != 0 &&
+                snap->generation >= it->appliedInGeneration) {
+                continue; // this snapshot already lacks those ids
+            }
+            dropped.insert(dropped.end(), it->ids.begin(),
+                           it->ids.end());
+            if (alive != it)
+                *alive = std::move(*it);
+            ++alive;
+        }
+        pendingPrunes_.erase(alive, pendingPrunes_.end());
+    }
+    if (!dropped.empty()) {
+        std::sort(dropped.begin(), dropped.end());
+        // Pending ids the map already removed translate to an all-ones
+        // mask; compact() early-outs on those without re-materialising.
+        trackCloud_.compact(trackCloud_.translateKeepMask(dropped));
+    }
+
+    if (!masked_prev.empty()) {
+        // Re-apply surviving masks (ids the map has since pruned
+        // simply don't match and stay kept in the translated mask).
+        std::vector<u8> unmasked =
+            trackCloud_.translateKeepMask(masked_prev);
+        if (std::find(unmasked.begin(), unmasked.end(), u8(0)) !=
+            unmasked.end()) {
+            auto &act = trackCloud_.active.mut();
+            for (size_t k = 0; k < unmasked.size(); ++k)
+                if (!unmasked[k])
+                    act[k] = 0;
+        }
+    }
+
+    report.snapshotGeneration = snap->generation;
+    report.snapshotStaleFrames =
+        frame.index > snap->lastMappedFrame
+            ? frame.index - snap->lastMappedFrame
+            : 0;
 }
 
 FrameReport
@@ -536,18 +746,18 @@ SlamSystem::processFrame(const data::Frame &frame, Real tracking_scale,
         peakBytes_ = std::max(peakBytes_, report.gaussianBytes);
     } else {
         // Async: never touch stateMutex_ from the frame loop (an
-        // in-flight job holds it for its whole duration). Report the
+        // in-flight batch holds it for its whole duration). Report the
         // latest *published* map's footprint; keyframe rows get their
         // exact post-map numbers from the worker, and the worker also
         // maintains the peak.
-        std::shared_ptr<const gs::GaussianCloud> snap;
+        std::shared_ptr<const TrackingSnapshot> snap;
         {
             std::lock_guard<std::mutex> lock(snapshotMutex_);
             snap = trackingSnapshot_;
         }
         if (snap) {
-            report.gaussianCount = snap->size();
-            report.gaussianBytes = snap->parameterBytes();
+            report.gaussianCount = snap->cloud.size();
+            report.gaussianBytes = snap->cloud.parameterBytes();
         }
     }
 

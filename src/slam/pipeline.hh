@@ -18,6 +18,7 @@
 #ifndef RTGS_SLAM_PIPELINE_HH
 #define RTGS_SLAM_PIPELINE_HH
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -67,6 +68,17 @@ struct SlamConfig
      */
     u32 mapQueueDepth = 0;
 
+    /**
+     * Max queued keyframes one asynchronous drain iteration absorbs
+     * and runs as a single batch (>= 1). A batch shares the backward
+     * gradient arena and per-drain setup across its keyframes and
+     * publishes one tracking snapshot instead of one per job, so
+     * keyframe bursts drain together instead of FIFO-serially.
+     * mapBatchSize == 1 reproduces the per-job async path exactly;
+     * ignored in sync mode.
+     */
+    u32 mapBatchSize = 1;
+
     /** Build the per-profile default configuration. */
     static SlamConfig forAlgorithm(BaseAlgorithm algo);
 };
@@ -108,6 +120,70 @@ struct FrameReport
      * waitForMapping()).
      */
     bool mappedAsync = false;
+
+    // Copy-on-write snapshot observability (async mode only).
+    u64 snapshotGeneration = 0;  //!< map generation tracking rendered
+    /** Generation this keyframe's map batch published on completion
+     *  (worker-filled; 0 on non-keyframe rows). */
+    u64 publishedGeneration = 0;
+    /** Queue staleness: frames between this frame and the newest
+     *  keyframe folded into the snapshot tracking rendered against. */
+    u32 snapshotStaleFrames = 0;
+    /** Wall time of the snapshot publication this keyframe's batch
+     *  performed (only set on the batch's last keyframe row). */
+    double snapshotPublishSeconds = 0;
+    /** Jobs in the drain batch that mapped this keyframe (async). */
+    u32 mapBatchJobs = 0;
+};
+
+/**
+ * Aggregate COW-snapshot observability over a run's reports (shared by
+ * the examples and benches). Feed every row through add(); rows from
+ * sync-mode runs contribute nothing.
+ */
+struct SnapshotStats
+{
+    /** Total publication wall time recorded in keyframe rows. The
+     *  rare trailing publication waitForMapping performs to flush a
+     *  post-batch prune has no report row and is not attributed. */
+    double publishSeconds = 0;
+    u64 publishes = 0;         //!< highest published generation seen
+    u64 staleSum = 0;
+    u64 staleFrames = 0;
+
+    void
+    add(const FrameReport &r)
+    {
+        publishSeconds += r.snapshotPublishSeconds;
+        publishes = std::max(publishes, r.publishedGeneration);
+        if (r.snapshotGeneration > 0) {
+            staleSum += r.snapshotStaleFrames;
+            ++staleFrames;
+        }
+    }
+
+    /** Mean queue staleness over tracked frames (0 if none). */
+    double
+    meanStaleFrames() const
+    {
+        return staleFrames ? static_cast<double>(staleSum) /
+                                 static_cast<double>(staleFrames)
+                           : 0.0;
+    }
+};
+
+/**
+ * An immutable, generation-tagged view of the map published for
+ * lock-free tracking. The cloud shares its column buffers with the
+ * authoritative map via copy-on-write, so publishing costs O(columns)
+ * refcount bumps; the map worker re-materialises only the columns it
+ * later mutates.
+ */
+struct TrackingSnapshot
+{
+    gs::GaussianCloud cloud;
+    u64 generation = 0;     //!< 1-based publication counter
+    u32 lastMappedFrame = 0; //!< newest keyframe folded into the map
 };
 
 /**
@@ -118,9 +194,11 @@ struct FrameReport
  * With config.mapQueueDepth == 0 every stage runs inline on the caller
  * thread, byte-identical to the original monolithic loop. With a
  * positive depth the map stage runs asynchronously on the shared
- * ThreadPool behind a bounded keyframe queue; tracking then renders
- * against a snapshot of the map taken under the state lock. In async
- * mode, call waitForMapping() before reading cloud()/reports() (the
+ * ThreadPool behind a bounded keyframe queue; each drain iteration pops
+ * up to config.mapBatchSize queued keyframes and maps them as one
+ * batch. Tracking renders against a copy-on-write clone of the newest
+ * published snapshot taken under the snapshot lock. In async mode,
+ * call waitForMapping() before reading cloud()/reports() (the
  * map-iteration hook also fires on a pool worker then).
  *
  * Feed frames in order via processFrame(); read the trajectory, map,
@@ -140,10 +218,46 @@ class SlamSystem
     StageProfiler &profiler() { return profiler_; }
     Mapper &mapper() { return mapper_; }
 
+    /** True when keyframe mapping runs asynchronously. */
+    bool asyncMapping() const { return mapWorker_ != nullptr; }
+
     /**
-     * Block until every enqueued mapping job has completed. No-op in
-     * sync mode. Call before reading the cloud, reports, or rendering
-     * when mapQueueDepth > 0.
+     * The cloud tracking renders against: the authoritative map in sync
+     * mode, the per-frame copy-on-write clone of the newest published
+     * snapshot in async mode. Iteration hooks (RTGS pruning, workload
+     * capture) must read THIS cloud — the authoritative one may be
+     * mid-mutation on a map worker. Only valid on the frame-loop
+     * thread.
+     */
+    gs::GaussianCloud &trackingCloud();
+    const gs::GaussianCloud &trackingCloud() const;
+
+    /**
+     * Async-mode pruning: record that tracking decided to drop the
+     * entries where keep[i] == 0 of the CURRENT tracking clone (call
+     * before compacting the clone — the mask is translated through the
+     * clone's stable ids). The drop is applied to the authoritative
+     * cloud by the next map batch (or by waitForMapping()) under the
+     * state lock, with the mapper's optimiser state remapped in the
+     * same motion; later tracking clones filter the dropped ids out
+     * immediately, so tracking never resurrects what it pruned.
+     */
+    void requestTrackingPrune(const std::vector<u8> &keep);
+
+    /** Prune requests not yet folded into the authoritative map. */
+    size_t pendingPruneCount() const;
+
+    /**
+     * Thread-pool override for the render pipeline (tests pin worker
+     * counts); all rendering outputs are bitwise pool-size-independent.
+     */
+    void setRenderPool(ThreadPool *pool);
+
+    /**
+     * Block until every enqueued mapping job has completed and every
+     * requested prune has been folded into the authoritative cloud.
+     * No-op in sync mode. Call before reading the cloud, reports, or
+     * rendering when mapQueueDepth > 0.
      */
     void waitForMapping();
 
@@ -216,8 +330,9 @@ class SlamSystem
     void stageEnqueueMap(const data::Frame &frame, const SE3 &pose,
                          const FrameBudget *budget, size_t report_index);
 
-    /** Map stage body executed on a pool worker (async mode). */
-    void runMapJob(MapJob &job);
+    /** Map stage body executed on a pool worker (async mode): one FIFO
+     *  batch of up to mapBatchSize keyframes. */
+    void runMapBatch(std::vector<MapJob> &jobs);
 
     /**
      * The mapping recipe shared by the sync and async paths: densify,
@@ -228,12 +343,31 @@ class SlamSystem
                        size_t &densified);
 
     /**
-     * Latest published map snapshot for lock-free tracking (async
-     * mode). Map jobs publish a fresh immutable snapshot when they
-     * complete, so tracking never waits on an in-flight job (it reads
-     * the newest finished map) and never copies the cloud itself.
+     * Latest published map snapshot (async mode). Map batches publish a
+     * fresh immutable generation when they complete, so tracking never
+     * waits on an in-flight job (it reads the newest finished map).
      */
-    std::shared_ptr<const gs::GaussianCloud> snapshotCloud();
+    std::shared_ptr<const TrackingSnapshot> snapshotCloud();
+
+    /**
+     * Refresh the per-frame tracking clone from the newest published
+     * snapshot (O(columns) copy-on-write), filter out ids from prune
+     * requests the map has not absorbed yet, and stamp the report's
+     * snapshot generation/staleness fields.
+     */
+    void refreshTrackingClone(const data::Frame &frame,
+                              FrameReport &report);
+
+    /**
+     * Fold every not-yet-applied prune request into the authoritative
+     * cloud (stable-id keep-mask translation + optimiser remap).
+     * Requires stateMutex_; returns true when the cloud changed.
+     */
+    bool applyPendingPrunesLocked();
+
+    /** Publish cloud_ as a new snapshot generation; returns the wall
+     *  seconds the publication cost. Requires stateMutex_. */
+    double publishSnapshotLocked(u32 last_mapped_frame);
 
     SlamConfig config_;
     Intrinsics intrinsics_;
@@ -256,13 +390,36 @@ class SlamSystem
     SE3 prevPose_;
     bool bootstrapped_ = false;
 
-    /** Guards cloud_, mapper_, peakBytes_ against the async map stage. */
+    /** Guards cloud_, mapper_, peakBytes_, mapGeneration_ against the
+     *  async map stage. */
     mutable std::mutex stateMutex_;
     /** Guards reports_ (caller pushes rows, the worker fills them in). */
     mutable std::mutex reportMutex_;
-    /** Guards trackingSnapshot_ (published by map jobs, read by track). */
+    /** Guards trackingSnapshot_ (published by map batches, read by
+     *  track). */
     mutable std::mutex snapshotMutex_;
-    std::shared_ptr<const gs::GaussianCloud> trackingSnapshot_;
+    std::shared_ptr<const TrackingSnapshot> trackingSnapshot_;
+    /** Snapshot publication counter (under stateMutex_). */
+    u64 mapGeneration_ = 0;
+    /** Newest keyframe folded into a published snapshot. */
+    u32 lastPublishedFrame_ = 0;
+
+    /** Frame-loop-only: per-frame tracking clone of the snapshot. */
+    gs::GaussianCloud trackCloud_;
+    /** Generation trackCloud_ was cloned from (frame-loop only; the
+     *  sentinel forces the first refresh to clone). */
+    u64 trackCloneGeneration_ = ~u64(0);
+
+    /** One tracking-side prune decision awaiting authoritative apply. */
+    struct PendingPrune
+    {
+        std::vector<u64> ids;          //!< stable ids to drop (sorted)
+        u64 appliedInGeneration = 0;   //!< 0 = not yet applied
+    };
+    /** Guards pendingPrunes_ (tracker appends, map batches consume). */
+    mutable std::mutex pruneMutex_;
+    std::vector<PendingPrune> pendingPrunes_;
+
     /** Async map executor; null in sync mode. Declared last so its
      *  destructor drains in-flight jobs before members are torn down. */
     std::unique_ptr<MapWorker> mapWorker_;

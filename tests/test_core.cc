@@ -363,7 +363,8 @@ TEST(Baselines, FlashGsScoresSaliency)
 {
     auto cloud = makeCloud(3);
     // Make Gaussian 2's colour deviate strongly from the scene mean.
-    cloud.shCoeffs[2] = gs::GaussianCloud::rgbToSh({0.95f, 0.05f, 0.05f});
+    cloud.shCoeffs.mut()[2] =
+        gs::GaussianCloud::rgbToSh({0.95f, 0.05f, 0.05f});
     gs::ProjectedCloud view;
     view.items.resize(3);
     for (auto &p : view.items) {

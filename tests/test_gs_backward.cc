@@ -133,7 +133,7 @@ TEST(BackwardFd, PositionGradients)
         for (int c = 0; c < 3; ++c) {
             double fd = f.fd(
                 [k, c](GaussianCloud &cl, Real e) {
-                    cl.positions[k][c] += e;
+                    cl.positions.mut()[k][c] += e;
                 },
                 eps);
             expectGradNear(br.grads.dPositions[k][c], fd, "position");
@@ -150,7 +150,7 @@ TEST(BackwardFd, LogScaleGradients)
         for (int c = 0; c < 3; ++c) {
             double fd = f.fd(
                 [k, c](GaussianCloud &cl, Real e) {
-                    cl.logScales[k][c] += e;
+                    cl.logScales.mut()[k][c] += e;
                 },
                 eps);
             expectGradNear(br.grads.dLogScales[k][c], fd, "logScale");
@@ -167,7 +167,7 @@ TEST(BackwardFd, RotationGradients)
         for (int c = 0; c < 4; ++c) {
             double fd = f.fd(
                 [k, c](GaussianCloud &cl, Real e) {
-                    Quatf &q = cl.rotations[k];
+                    Quatf &q = cl.rotations.mut()[k];
                     (c == 0 ? q.w : c == 1 ? q.x : c == 2 ? q.y : q.z) += e;
                 },
                 eps);
@@ -187,7 +187,9 @@ TEST(BackwardFd, OpacityGradients)
     const Real eps = Real(2e-3);
     for (size_t k = 0; k < f.cloud.size(); ++k) {
         double fd = f.fd(
-            [k](GaussianCloud &cl, Real e) { cl.opacityLogits[k] += e; },
+            [k](GaussianCloud &cl, Real e) {
+                cl.opacityLogits.mut()[k] += e;
+            },
             eps);
         expectGradNear(br.grads.dOpacityLogits[k], fd, "opacity");
     }
@@ -202,7 +204,7 @@ TEST(BackwardFd, ColorGradients)
         for (int c = 0; c < 3; ++c) {
             double fd = f.fd(
                 [k, c](GaussianCloud &cl, Real e) {
-                    cl.shCoeffs[k][c] += e;
+                    cl.shCoeffs.mut()[k][c] += e;
                 },
                 eps);
             expectGradNear(br.grads.dShCoeffs[k][c], fd, "sh");
@@ -236,7 +238,7 @@ TEST(BackwardFd, CameraPoseGradients)
 TEST(BackwardFd, MaskedGaussianHasZeroGradient)
 {
     FdFixture f;
-    f.cloud.active[2] = 0;
+    f.cloud.active.mut()[2] = 0;
     BackwardResult br = f.analytic();
     EXPECT_EQ(br.grads.dPositions[2].norm(), 0);
     EXPECT_EQ(br.grads.dOpacityLogits[2], 0);

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the copy-on-write GaussianCloud storage: copying a
+ * cloud must alias every column (publishing a snapshot is O(columns)),
+ * mutation after a copy must re-materialise exactly the touched column
+ * without becoming visible to the held copy, and the stable-id machinery
+ * (strictly increasing ids, cross-generation keep-mask translation) must
+ * survive compaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gs/gaussian.hh"
+
+namespace rtgs::gs
+{
+
+namespace
+{
+
+GaussianCloud
+makeCloud(size_t n)
+{
+    GaussianCloud cloud;
+    for (size_t i = 0; i < n; ++i) {
+        cloud.pushIsotropic(
+            {static_cast<Real>(i) * Real(0.1), 0, 2}, Real(0.05),
+            Real(0.5), {0.5f, 0.5f, 0.5f});
+    }
+    return cloud;
+}
+
+} // namespace
+
+TEST(GsCow, CopyAliasesEveryColumn)
+{
+    GaussianCloud a = makeCloud(32);
+    GaussianCloud b = a; // the snapshot-publication operation
+    EXPECT_EQ(b.size(), 32u);
+    EXPECT_EQ(a.sharedColumnsWith(b), 7u)
+        << "a cloud copy must be refcount bumps, not buffer copies";
+    EXPECT_TRUE(a.positions.shares(b.positions));
+    EXPECT_TRUE(a.ids.shares(b.ids));
+}
+
+TEST(GsCow, MutationUnsharesOnlyTheTouchedColumn)
+{
+    GaussianCloud a = makeCloud(16);
+    GaussianCloud snapshot = a;
+
+    a.opacityLogits.mut()[3] = Real(2.5);
+
+    EXPECT_FALSE(a.opacityLogits.shares(snapshot.opacityLogits));
+    // Every untouched column still aliases the snapshot's buffer.
+    EXPECT_TRUE(a.positions.shares(snapshot.positions));
+    EXPECT_TRUE(a.logScales.shares(snapshot.logScales));
+    EXPECT_TRUE(a.rotations.shares(snapshot.rotations));
+    EXPECT_TRUE(a.shCoeffs.shares(snapshot.shCoeffs));
+    EXPECT_TRUE(a.active.shares(snapshot.active));
+    EXPECT_TRUE(a.ids.shares(snapshot.ids));
+    EXPECT_EQ(a.sharedColumnsWith(snapshot), 6u);
+}
+
+TEST(GsCow, MutateAfterPublishInvisibleToHeldSnapshot)
+{
+    GaussianCloud a = makeCloud(8);
+    Real before = a.opacityLogits[2];
+    Vec3f pos_before = a.positions[5];
+
+    GaussianCloud snapshot = a; // generation G
+    a.opacityLogits.mut()[2] = Real(7);
+    a.positions.mut()[5] = {Real(99), 0, 0};
+    a.push({1, 1, 1}, {0, 0, 0}, Quatf::identity(), 0, {0, 0, 0});
+
+    // The held snapshot still reads generation G's values and size.
+    EXPECT_EQ(snapshot.size(), 8u);
+    EXPECT_EQ(snapshot.opacityLogits[2], before);
+    EXPECT_EQ(snapshot.positions[5].x, pos_before.x);
+    // The mutated lineage sees its own writes.
+    EXPECT_EQ(a.opacityLogits[2], Real(7));
+    EXPECT_EQ(a.size(), 9u);
+}
+
+TEST(GsCow, UnsharedMutationKeepsBuffer)
+{
+    GaussianCloud a = makeCloud(4);
+    const Vec3f *buf = a.positions.data();
+    a.positions.mut()[1] = {1, 2, 3}; // no snapshot holder: no copy
+    EXPECT_EQ(a.positions.data(), buf);
+
+    GaussianCloud snapshot = a;
+    a.positions.mut()[1] = {4, 5, 6}; // shared now: re-materialises
+    EXPECT_NE(a.positions.data(), snapshot.positions.data());
+    EXPECT_EQ(snapshot.positions.data(), buf);
+}
+
+TEST(GsCow, IdsStrictlyIncreasingAcrossCompaction)
+{
+    GaussianCloud cloud = makeCloud(10);
+    std::vector<u8> keep(10, 1);
+    keep[2] = keep[5] = keep[6] = 0;
+    cloud.compact(keep);
+    ASSERT_EQ(cloud.size(), 7u);
+    for (size_t k = 1; k < cloud.size(); ++k)
+        EXPECT_LT(cloud.ids[k - 1], cloud.ids[k]);
+    // New pushes keep the lineage strictly increasing past the old max.
+    u64 max_id = cloud.ids[cloud.size() - 1];
+    cloud.pushIsotropic({0, 0, 2}, Real(0.05), Real(0.5),
+                        {0.5f, 0.5f, 0.5f});
+    EXPECT_GT(cloud.ids[cloud.size() - 1], max_id);
+}
+
+TEST(GsCow, TranslateKeepMaskAcrossGenerations)
+{
+    GaussianCloud snapshot = makeCloud(10);
+    GaussianCloud current = snapshot; // later generation of the same map
+
+    // The map path prunes id 4 and densifies two new Gaussians.
+    std::vector<u8> map_keep(10, 1);
+    map_keep[4] = 0;
+    current.compact(map_keep);
+    current.pushIsotropic({0, 0, 2}, Real(0.05), Real(0.5),
+                          {0.5f, 0.5f, 0.5f});
+    current.pushIsotropic({0, 0, 3}, Real(0.05), Real(0.5),
+                          {0.5f, 0.5f, 0.5f});
+    ASSERT_EQ(current.size(), 11u);
+
+    // Tracking (against the snapshot) decides to drop ids 1, 4 and 7.
+    std::vector<u64> dropped = {snapshot.ids[1], snapshot.ids[4],
+                                snapshot.ids[7]};
+    std::vector<u8> keep = current.translateKeepMask(dropped);
+
+    ASSERT_EQ(keep.size(), current.size());
+    size_t removed = 0;
+    for (size_t k = 0; k < keep.size(); ++k) {
+        if (!keep[k])
+            ++removed;
+        else
+            continue;
+        // Only snapshot ids 1 and 7 can match (4 is already gone).
+        EXPECT_TRUE(current.ids[k] == snapshot.ids[1] ||
+                    current.ids[k] == snapshot.ids[7]);
+    }
+    EXPECT_EQ(removed, 2u);
+    // The densified entries (unknown to the snapshot) are kept.
+    EXPECT_EQ(keep[current.size() - 1], 1u);
+    EXPECT_EQ(keep[current.size() - 2], 1u);
+}
+
+TEST(GsCow, CompactUnsharesFromSnapshot)
+{
+    GaussianCloud a = makeCloud(6);
+    GaussianCloud snapshot = a;
+    std::vector<u8> keep(6, 1);
+    keep[0] = 0;
+    a.compact(keep);
+    EXPECT_EQ(a.size(), 5u);
+    EXPECT_EQ(snapshot.size(), 6u);
+    EXPECT_EQ(a.sharedColumnsWith(snapshot), 0u);
+}
+
+} // namespace rtgs::gs

@@ -42,9 +42,9 @@ struct RandomScene
                       static_cast<Real>(rng.uniform(0.05, 0.95))};
             cloud.pushIsotropic(pos, scale, opacity, rgb);
             if (i % 2 == 0) {
-                cloud.logScales[i].x +=
+                cloud.logScales.mut()[i].x +=
                     static_cast<Real>(rng.uniform(-0.8, 0.8));
-                cloud.rotations[i] = Quatf::fromAxisAngle(
+                cloud.rotations.mut()[i] = Quatf::fromAxisAngle(
                     {static_cast<Real>(rng.normal()),
                      static_cast<Real>(rng.normal()),
                      static_cast<Real>(rng.normal())},
@@ -283,7 +283,7 @@ TEST_P(PipelineEquivalence, BackwardClampedAlphaMatchesSerialFull)
     // sweeps never reach.
     RandomScene scene(GetParam());
     for (size_t k = 0; k < scene.cloud.size(); k += 2)
-        scene.cloud.opacityLogits[k] = inverseSigmoid(Real(0.999));
+        scene.cloud.opacityLogits.mut()[k] = inverseSigmoid(Real(0.999));
 
     RenderSettings settings;
     RenderPipeline pipe(settings);

@@ -52,7 +52,7 @@ TEST(Projection, MaskedGaussianIsSkipped)
 {
     GaussianCloud cloud;
     cloud.pushIsotropic({0, 0, 2}, Real(0.2), Real(0.5), {1, 0, 0});
-    cloud.active[0] = 0;
+    cloud.active.mut()[0] = 0;
     ProjectedCloud proj = projectGaussians(cloud, testCamera(), {});
     EXPECT_FALSE(proj[0].valid);
 }
@@ -261,7 +261,7 @@ TEST(Rasterizer, MaskingRemovesContribution)
     ForwardContext full = pipe.forward(cloud, testCamera());
     EXPECT_GT(full.result.image.at(32, 32).x, 0.5);
 
-    cloud.active[0] = 0;
+    cloud.active.mut()[0] = 0;
     ForwardContext masked = pipe.forward(cloud, testCamera());
     EXPECT_LT(masked.result.image.at(32, 32).x, 0.05);
     EXPECT_GT(masked.result.image.at(32, 32).y, 0.5);

@@ -43,9 +43,9 @@ struct RandomScene
             cloud.pushIsotropic(pos, scale, opacity, rgb);
             // Random anisotropy and rotation on half the population.
             if (i % 2 == 0) {
-                cloud.logScales[i].x +=
+                cloud.logScales.mut()[i].x +=
                     static_cast<Real>(rng.uniform(-0.8, 0.8));
-                cloud.rotations[i] = Quatf::fromAxisAngle(
+                cloud.rotations.mut()[i] = Quatf::fromAxisAngle(
                     {static_cast<Real>(rng.normal()),
                      static_cast<Real>(rng.normal()),
                      static_cast<Real>(rng.normal())},
@@ -96,7 +96,7 @@ TEST_P(RenderProperty, MaskingNeverIncreasesCoverage)
     Rng rng(GetParam() ^ 0xABCD);
     for (size_t k = 0; k < scene.cloud.size(); ++k)
         if (rng.chance(0.33))
-            scene.cloud.active[k] = 0;
+            scene.cloud.active.mut()[k] = 0;
     auto masked = pipe.forward(scene.cloud, scene.camera);
 
     for (size_t i = 0; i < full.result.alpha.pixelCount(); ++i) {

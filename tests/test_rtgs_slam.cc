@@ -316,18 +316,62 @@ TEST(RtgsSlamTest, AsyncReportsBackfilledByFinish)
     EXPECT_GE(keyframes, 3u);
 }
 
-TEST(RtgsSlamTest, PruningForcesSynchronousMapping)
+TEST(RtgsSlamTest, PruningRunsWithAsyncMapping)
+{
+    // Regression for the lifted "in-tracking pruning forces synchronous
+    // mapping" fallback: with COW snapshots the pruner's keep masks are
+    // translated through stable ids onto the authoritative cloud, so
+    // async mapping must stay async, prune for real, and leave nothing
+    // pending after finish().
+    auto &ds = tinyDataset();
+    RtgsSlamConfig cfg = fastConfig(); // pruning enabled (Rtgs method)
+    cfg.enableDownsampling = false;
+    // Fixed iteration count + short interval => several mask/remove
+    // boundaries fire within the 12-frame sequence.
+    cfg.base.tracker.earlyStop = false;
+    cfg.pruner.initialInterval = 3;
+    cfg.base.mapQueueDepth = 2;
+    cfg.base.mapBatchSize = 2;
+    RtgsSlam rtgs(cfg, ds.intrinsics());
+    EXPECT_EQ(rtgs.config().base.mapQueueDepth, 2u)
+        << "pruning must no longer clamp async mapping to sync";
+
+    for (u32 f = 0; f < ds.frameCount(); ++f)
+        rtgs.processFrame(ds.frame(f));
+    rtgs.finish();
+
+    size_t async_keyframes = 0;
+    for (const auto &r : rtgs.reports())
+        async_keyframes += r.base.mappedAsync ? 1 : 0;
+    EXPECT_GE(async_keyframes, 3u)
+        << "keyframes must still map asynchronously while pruning runs";
+
+    EXPECT_GT(rtgs.pruner().stats().prunedTotal, 0u)
+        << "in-tracking pruning must remove Gaussians in async mode";
+    EXPECT_EQ(rtgs.system().pendingPruneCount(), 0u)
+        << "finish() must fold every prune into the authoritative map";
+
+    // The pruned async run must stay usable.
+    auto ate = slam::computeAte(rtgs.system().trajectory(),
+                                gtTrajectory());
+    EXPECT_LT(ate.rmse, 0.15);
+    EXPECT_GT(rtgs.system().cloud().size(), 32u);
+}
+
+TEST(RtgsSlamTest, TamingPruneRunsWithAsyncMapping)
 {
     auto &ds = tinyDataset();
-    RtgsSlamConfig cfg = fastConfig(); // pruning enabled
+    RtgsSlamConfig cfg = fastConfig();
+    cfg.enableDownsampling = false;
+    cfg.pruneMethod = PruneMethod::Taming;
     cfg.base.mapQueueDepth = 2;
     RtgsSlam rtgs(cfg, ds.intrinsics());
-    EXPECT_EQ(rtgs.config().base.mapQueueDepth, 0u)
-        << "async mapping must be clamped while pruning is active";
-    for (u32 f = 0; f < 4; ++f)
+    EXPECT_EQ(rtgs.config().base.mapQueueDepth, 2u);
+    for (u32 f = 0; f < ds.frameCount(); ++f)
         rtgs.processFrame(ds.frame(f));
-    for (const auto &r : rtgs.reports())
-        EXPECT_FALSE(r.base.mappedAsync);
+    rtgs.finish();
+    EXPECT_EQ(rtgs.system().pendingPruneCount(), 0u);
+    EXPECT_EQ(rtgs.system().trajectory().size(), ds.frameCount());
 }
 
 TEST(RtgsSlamTest, MaskedGaussiansExcludedFromRender)

@@ -131,7 +131,7 @@ TEST(MapOptimizer, SkipsMaskedGaussians)
 {
     gs::GaussianCloud cloud;
     cloud.pushIsotropic({1, 0, 0}, 0.2f, 0.5f, {0.5f, 0.5f, 0.5f});
-    cloud.active[0] = 0;
+    cloud.active.mut()[0] = 0;
     MapOptimizer opt;
     gs::CloudGrads grads;
     grads.resize(1);
