@@ -87,9 +87,13 @@ main()
         // trace is exactly its own mapping work — the modelled
         // comparison needs exact attribution, which full overlap
         // trades away (batches then form behind tracking instead).
+        // Multi-view mapping: each optimiser step of the enhanced run
+        // renders up to two window keyframes and applies one averaged
+        // update (cross-keyframe render batching).
         if (enhanced) {
             cfg.base.mapQueueDepth = 2;
             cfg.base.mapBatchSize = 2;
+            cfg.base.multiViewWindow = 2;
         }
         cfg.enablePruning = enhanced;
         cfg.enableDownsampling = enhanced;
@@ -132,17 +136,25 @@ main()
 
         // Per-run snapshot-publication/staleness summary (async only).
         slam::SnapshotStats snap_stats;
-        for (const auto &r : rtgs.reports())
+        u32 max_map_views = 0;
+        for (const auto &r : rtgs.reports()) {
             snap_stats.add(r.base);
+            if (r.base.isKeyframe) {
+                max_map_views =
+                    std::max(max_map_views, r.base.mapMultiViews);
+            }
+        }
         if (snap_stats.publishes > 0) {
             std::printf("  async map: %llu COW snapshot publications "
                         "(%.3f ms total), mean staleness %.2f frames, "
-                        "%zu Gaussians pruned in-tracking\n",
+                        "%zu Gaussians pruned in-tracking, up to %u "
+                        "views per map step\n",
                         static_cast<unsigned long long>(
                             snap_stats.publishes),
                         snap_stats.publishSeconds * 1e3,
                         snap_stats.meanStaleFrames(),
-                        rtgs.pruner().stats().prunedTotal);
+                        rtgs.pruner().stats().prunedTotal,
+                        max_map_views);
         }
         return std::make_pair(collector.frames, ate);
     };

@@ -15,11 +15,13 @@ RtgsSlam::RtgsSlam(const RtgsSlamConfig &config,
       pruner_(config.pruner), downsampler_(config.downsampler),
       taming_(500), gate_(config.gate)
 {
-    // In-tracking pruning now composes with asynchronous mapping: keep
+    // In-tracking pruning composes with asynchronous mapping (keep
     // masks are computed against the per-frame tracking clone and
-    // translated onto the authoritative cloud through the snapshot
-    // generation's stable ids (SlamSystem::requestTrackingPrune), so no
-    // sync fallback is needed.
+    // translated onto the authoritative cloud through stable ids), so
+    // no config adjustment is needed here; read the system's view back
+    // so config() reflects what actually runs — including the
+    // normalisations SlamSystem applies (e.g. multiViewWindow copied
+    // over mapper.multiViewWindow).
     config_.base = system_->config();
     installHooks();
 }

@@ -59,12 +59,31 @@ void
 Gradient2DBuffers::accumulate(const Gradient2DBuffers &other)
 {
     rtgs_assert(other.size() == size());
-    for (size_t i = 0; i < size(); ++i) {
+    accumulateRange(other, 0, size());
+}
+
+void
+Gradient2DBuffers::accumulateRange(const Gradient2DBuffers &other,
+                                   size_t lo, size_t hi)
+{
+    for (size_t i = lo; i < hi; ++i) {
         dMean2d[i] += other.dMean2d[i];
         dConic[i] = dConic[i] + other.dConic[i];
         dColor[i] += other.dColor[i];
         dOpacityAct[i] += other.dOpacityAct[i];
         dDepth[i] += other.dDepth[i];
+    }
+}
+
+void
+Gradient2DBuffers::scaleRange(Real s, size_t lo, size_t hi)
+{
+    for (size_t i = lo; i < hi; ++i) {
+        dMean2d[i] = dMean2d[i] * s;
+        dConic[i] = dConic[i] * s;
+        dColor[i] = dColor[i] * s;
+        dOpacityAct[i] *= s;
+        dDepth[i] *= s;
     }
 }
 

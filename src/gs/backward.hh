@@ -40,6 +40,14 @@ struct Gradient2DBuffers
     size_t size() const { return dMean2d.size(); }
     void accumulate(const Gradient2DBuffers &other);
 
+    /** accumulate() restricted to Gaussians [lo, hi) — the chunk body
+     *  of parallel reductions (RenderPipeline::accumulateBackward). */
+    void accumulateRange(const Gradient2DBuffers &other, size_t lo,
+                         size_t hi);
+
+    /** Scale every lane of Gaussians [lo, hi) by s. */
+    void scaleRange(Real s, size_t lo, size_t hi);
+
     /** L2 magnitude of the combined 2D gradient of Gaussian k. */
     Real magnitude(size_t k) const;
 };

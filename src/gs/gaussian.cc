@@ -198,7 +198,14 @@ void
 CloudGrads::accumulate(const CloudGrads &other)
 {
     rtgs_assert(other.size() == size());
-    for (size_t i = 0; i < size(); ++i) {
+    accumulateRange(other, 0, size());
+}
+
+void
+CloudGrads::accumulateRange(const CloudGrads &other, size_t lo,
+                            size_t hi)
+{
+    for (size_t i = lo; i < hi; ++i) {
         dPositions[i] += other.dPositions[i];
         dLogScales[i] += other.dLogScales[i];
         dRotations[i].w += other.dRotations[i].w;
@@ -208,6 +215,22 @@ CloudGrads::accumulate(const CloudGrads &other)
         dOpacityLogits[i] += other.dOpacityLogits[i];
         dShCoeffs[i] += other.dShCoeffs[i];
         covGradNorms[i] += other.covGradNorms[i];
+    }
+}
+
+void
+CloudGrads::scaleRange(Real s, size_t lo, size_t hi)
+{
+    for (size_t i = lo; i < hi; ++i) {
+        dPositions[i] = dPositions[i] * s;
+        dLogScales[i] = dLogScales[i] * s;
+        dRotations[i].w *= s;
+        dRotations[i].x *= s;
+        dRotations[i].y *= s;
+        dRotations[i].z *= s;
+        dOpacityLogits[i] *= s;
+        dShCoeffs[i] = dShCoeffs[i] * s;
+        covGradNorms[i] *= s;
     }
 }
 

@@ -299,6 +299,13 @@ struct CloudGrads
     /** Elementwise in-place sum; shapes must match. */
     void accumulate(const CloudGrads &other);
 
+    /** accumulate() restricted to Gaussians [lo, hi) — the chunk body
+     *  of parallel reductions (RenderPipeline::accumulateBackward). */
+    void accumulateRange(const CloudGrads &other, size_t lo, size_t hi);
+
+    /** Scale every lane of Gaussians [lo, hi) by s. */
+    void scaleRange(Real s, size_t lo, size_t hi);
+
     /**
      * dL/dSigma (3D covariance) Frobenius norm per Gaussian, needed by
      * the Eq. 7 importance score.

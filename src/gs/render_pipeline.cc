@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.hh"
 #include "common/thread_pool.hh"
 
 namespace rtgs::gs
@@ -32,6 +33,20 @@ struct RenderPipeline::BackwardScratch
     std::vector<SplatGradRecord> records; //!< parallel to bins.indices
     std::vector<Twist> poseBlocks;        //!< per-block pose partials
 };
+
+/** Completion slot for a pool-deferred forward pass. */
+struct AsyncForward::State
+{
+    ForwardContext context;
+};
+
+ForwardContext
+AsyncForward::take()
+{
+    if (pending_.valid())
+        pending_.get(); // propagates any exception from the pass
+    return std::move(state_->context);
+}
 
 RenderPipeline::RenderPipeline(const RenderSettings &settings)
     : settings_(settings)
@@ -117,6 +132,29 @@ RenderPipeline::forward(const GaussianCloud &cloud,
     return ctx;
 }
 
+AsyncForward
+RenderPipeline::forwardAsync(const GaussianCloud &cloud,
+                             const Camera &camera) const
+{
+    AsyncForward handle;
+    handle.state_ = std::make_shared<AsyncForward::State>();
+
+    // Deferring is only useful (and only safe against a take() that
+    // nothing can unblock) when a worker other than the caller exists
+    // to run the pass: a pool-resident caller needs a second worker.
+    ThreadPool &p = pool();
+    size_t needed = p.onWorkerThread() ? 2 : 1;
+    if (p.size() >= needed) {
+        auto state = handle.state_;
+        handle.pending_ = p.submit([this, state, cloud, camera] {
+            state->context = forward(cloud, camera);
+        });
+    } else {
+        handle.state_->context = forward(cloud, camera);
+    }
+    return handle;
+}
+
 void
 RenderPipeline::backward(const GaussianCloud &cloud,
                          const ForwardContext &ctx,
@@ -183,6 +221,40 @@ RenderPipeline::backward(const GaussianCloud &cloud,
     BackwardResult out;
     backward(cloud, ctx, dl_dcolor, dl_ddepth, compute_pose_grad, out);
     return out;
+}
+
+void
+RenderPipeline::accumulateBackward(BackwardResult &sum,
+                                   const BackwardResult &view) const
+{
+    const size_t n = sum.grads.size();
+    rtgs_assert(view.grads.size() == n);
+    rtgs_assert(sum.grad2d.size() == n && view.grad2d.size() == n);
+
+    // Every Gaussian lane belongs to exactly one chunk and the views
+    // arrive through serial calls, so the per-lane summation order is
+    // fixed regardless of how chunks were scheduled across workers.
+    // The lane lists live with the gradient structs (accumulateRange)
+    // so a new lane cannot be missed here.
+    pool().parallelForChunks(0, n, [&](size_t lo, size_t hi) {
+        sum.grads.accumulateRange(view.grads, lo, hi);
+        sum.grad2d.accumulateRange(view.grad2d, lo, hi);
+    });
+    sum.poseGrad = sum.poseGrad + view.poseGrad;
+}
+
+void
+RenderPipeline::scaleBackward(BackwardResult &sum, Real s) const
+{
+    if (s == Real(1))
+        return;
+    pool().parallelForChunks(0, sum.grads.size(),
+                             [&](size_t lo, size_t hi) {
+        sum.grads.scaleRange(s, lo, hi);
+        sum.grad2d.scaleRange(s, lo, hi);
+    });
+    for (int c = 0; c < 6; ++c)
+        sum.poseGrad[c] *= s;
 }
 
 } // namespace rtgs::gs

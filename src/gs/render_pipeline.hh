@@ -9,6 +9,7 @@
 #ifndef RTGS_GS_RENDER_PIPELINE_HH
 #define RTGS_GS_RENDER_PIPELINE_HH
 
+#include <future>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -63,6 +64,29 @@ struct ForwardContext
 };
 
 /**
+ * A forward pass that may still be executing on the thread pool.
+ * Returned by RenderPipeline::forwardAsync; take() blocks until the
+ * pass has finished and yields its ForwardContext. The handle owns a
+ * copy-on-write copy of the cloud it renders, so the caller's cloud
+ * handle may be mutated (or destroyed) while the pass is in flight.
+ */
+class AsyncForward
+{
+  public:
+    AsyncForward() = default;
+
+    /** Block until the forward pass finishes; yields its context. */
+    ForwardContext take();
+
+  private:
+    friend class RenderPipeline;
+    struct State;
+    std::shared_ptr<State> state_;
+    /** Valid only when the pass was deferred to the pool. */
+    std::future<void> pending_;
+};
+
+/**
  * Thread-parallel renderer. Logically stateless apart from settings —
  * the only mutable state is an internal pool of backward scratch
  * arenas, checked out under a mutex, so concurrent forward/backward
@@ -94,6 +118,21 @@ class RenderPipeline
                            const Camera &camera) const;
 
     /**
+     * Multi-target forward: start Steps 1-3 for one view on the pool
+     * while the caller keeps working (a multi-view mapping step
+     * overlaps view v+1's forward with view v's backward this way).
+     * The pass runs on a pool worker when one can make progress
+     * (another worker exists besides a pool-resident caller) and
+     * inline otherwise, so take() never deadlocks; either way the
+     * result is bitwise identical to forward() — all pipeline outputs
+     * are pool-size independent. The cloud is captured by COW copy
+     * (O(columns)), so the caller may mutate its own handle before
+     * take().
+     */
+    AsyncForward forwardAsync(const GaussianCloud &cloud,
+                              const Camera &camera) const;
+
+    /**
      * Steps 4-5 from a forward context and per-pixel loss gradients,
      * reusing `out`'s buffers (callers that run backward every
      * iteration keep one BackwardResult alive across the loop and pay
@@ -111,6 +150,26 @@ class RenderPipeline
                             const ImageRGB &dl_dcolor,
                             const ImageF *dl_ddepth,
                             bool compute_pose_grad) const;
+
+    /**
+     * Multi-target reduction: fold one view's backward result into a
+     * running multi-view sum, lane by lane (sum += view) over fixed
+     * per-Gaussian chunks. Each lane is touched by exactly one chunk
+     * and views are folded in call order, so — like every other
+     * pipeline output — the sum is bitwise independent of the worker
+     * count. The 2D buffers are summed too: across views they lose
+     * their per-image-plane meaning but keep the magnitude semantics
+     * the importance score (Eq. 7) and the hardware models consume.
+     */
+    void accumulateBackward(BackwardResult &sum,
+                            const BackwardResult &view) const;
+
+    /**
+     * Scale every gradient lane (3D, 2D, and pose) by `s` — 1/B turns
+     * a B-view sum into the averaged update a multi-view optimiser
+     * step applies. s == 1 is an exact no-op.
+     */
+    void scaleBackward(BackwardResult &sum, Real s) const;
 
   private:
     struct BackwardScratch;

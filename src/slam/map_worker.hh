@@ -20,6 +20,11 @@
  *    snapshot publication, scratch-arena checkout) across keyframe
  *    bursts: when several keyframes are queued — rotation onset, a new
  *    room — they drain as one batch instead of FIFO-serially.
+ *  - A batch's multi-view mapping steps (multiViewWindow >= 2) fan
+ *    per-view forward passes back onto the pool from the drain task;
+ *    RenderPipeline::forwardAsync runs them inline instead whenever no
+ *    worker besides the drain task itself could pick them up, so the
+ *    drain never parks behind work only it could execute.
  *  - drain() blocks until every enqueued job has finished; the
  *    destructor drains implicitly.
  */

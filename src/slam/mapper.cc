@@ -90,10 +90,42 @@ Mapper::mapBatch(const gs::RenderPipeline &pipeline,
             max_iters = std::min(max_iters, item.iterationBudget);
         item.densified = densify(pipeline, cloud, intr, item.record);
         addKeyframe(std::move(item.record));
+        lastStepViews_ = 0;
         item.mapLoss =
             mapIterations(pipeline, cloud, intr, hook, max_iters, back);
+        item.multiViews = lastStepViews_;
         pruneTransparent(cloud);
     }
+}
+
+std::vector<size_t>
+Mapper::multiViewSelection(size_t window_size, u32 iteration,
+                           u32 multi_view_window)
+{
+    std::vector<size_t> views;
+    if (window_size == 0)
+        return views;
+    const size_t newest = window_size - 1;
+    const size_t b =
+        std::min<size_t>(std::max<u32>(multi_view_window, 1),
+                         window_size);
+    if (b <= 1) {
+        // Sequential alternation: the newest keyframe (most relevant)
+        // on even steps, the rest of the window (forgetting
+        // protection) on odd ones, MonoGS-style.
+        if (iteration % 2 == 0 || window_size == 1)
+            views.push_back(newest);
+        else
+            views.push_back((iteration / 2) % (window_size - 1));
+        return views;
+    }
+    // Multi-view step: b - 1 distinct older keyframes, rotated by step
+    // so every window entry keeps getting revisited, then the newest.
+    const size_t rest = window_size - 1;
+    for (size_t j = 0; j + 1 < b; ++j)
+        views.push_back((static_cast<size_t>(iteration) + j) % rest);
+    views.push_back(newest);
+    return views;
 }
 
 double
@@ -108,32 +140,71 @@ Mapper::mapIterations(const gs::RenderPipeline &pipeline,
     optimizer_.ensureSize(cloud.size());
     double final_loss = 0;
     for (u32 it = 0; it < max_iters; ++it) {
-        // Alternate between the newest keyframe (most relevant) and the
-        // rest of the window (forgetting protection), MonoGS-style.
-        const KeyframeRecord &kf =
-            (it % 2 == 0 || window_.size() == 1)
-                ? window_.back()
-                : window_[it / 2 % (window_.size() - 1)];
+        std::vector<size_t> views = multiViewSelection(
+            window_.size(), it, config_.multiViewWindow);
+        lastStepViews_ = static_cast<u32>(views.size());
 
-        Camera cam(intr, kf.pose);
-        gs::ForwardContext ctx = pipeline.forward(cloud, cam);
-        LossResult loss = computeLoss(ctx.result, kf.rgb, &kf.depth,
-                                      config_.loss);
-        pipeline.backward(
-            cloud, ctx, loss.dlDColor,
-            config_.loss.useDepth ? &loss.dlDDepth : nullptr,
-            /*compute_pose_grad=*/false, back);
+        // The newest view is selected last; its loss is the step's
+        // reported loss and its forward context feeds the iteration
+        // hook (matching the sequential recipe, where the hook sees
+        // the step's only view).
+        double step_loss = 0;
+        bool step_on_newest = views.back() + 1 == window_.size();
+        gs::ForwardContext newest_ctx;
+
+        gs::ForwardContext ctx = pipeline.forward(
+            cloud, Camera(intr, window_[views[0]].pose));
+        gs::AsyncForward next;
+        for (size_t v = 0; v < views.size(); ++v) {
+            // Multi-target overlap: start the next view's forward on
+            // the pool before this view's loss + backward run on the
+            // caller. Forward outputs are bitwise pool-independent, so
+            // the overlap never changes numerics.
+            if (v + 1 < views.size()) {
+                next = pipeline.forwardAsync(
+                    cloud, Camera(intr, window_[views[v + 1]].pose));
+            }
+            const KeyframeRecord &kf = window_[views[v]];
+            LossResult loss = computeLoss(ctx.result, kf.rgb, &kf.depth,
+                                          config_.loss);
+            const ImageF *dl_ddepth =
+                config_.loss.useDepth ? &loss.dlDDepth : nullptr;
+            if (v == 0) {
+                pipeline.backward(cloud, ctx, loss.dlDColor, dl_ddepth,
+                                  /*compute_pose_grad=*/false, back);
+            } else {
+                // Views beyond the first land in the per-view scratch
+                // and fold into the shared arena in view order — the
+                // deterministic fixed-chunk reduction keeps the sum
+                // bitwise independent of the worker count.
+                pipeline.backward(cloud, ctx, loss.dlDColor, dl_ddepth,
+                                  /*compute_pose_grad=*/false,
+                                  viewScratch_);
+                pipeline.accumulateBackward(back, viewScratch_);
+            }
+            if (v + 1 == views.size()) {
+                step_loss = loss.loss;
+                newest_ctx = std::move(ctx);
+            } else {
+                ctx = next.take();
+            }
+        }
+
+        // One averaged update from all of the step's views (an exact
+        // no-op for a single view).
+        pipeline.scaleBackward(
+            back, Real(1) / static_cast<Real>(views.size()));
         optimizer_.step(cloud, back.grads);
 
-        if (&kf == &window_.back())
-            final_loss = loss.loss;
+        if (step_on_newest)
+            final_loss = step_loss;
 
         if (hook) {
             MapIterationContext mctx;
             mctx.iteration = it;
-            mctx.forward = &ctx;
+            mctx.forward = &newest_ctx;
             mctx.backward = &back;
-            mctx.loss = loss.loss;
+            mctx.loss = step_loss;
             hook(mctx);
         }
     }

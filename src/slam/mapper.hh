@@ -35,6 +35,19 @@ struct MapperConfig
     u32 iterations = 15;
     /** Keyframes kept in the optimisation window. */
     u32 windowSize = 3;
+    /**
+     * Multi-view window B: how many window keyframes each optimiser
+     * step renders. 0 (the default) and 1 both run the sequential
+     * newest/rest alternation — one view per step, byte-identical to
+     * the pre-multi-view recipe. B >= 2 renders min(B, windowSize)
+     * views per step (the newest keyframe plus a rotating selection of
+     * the rest), sums their gradients deterministically, and applies
+     * one averaged update; one view's forward overlaps another's
+     * backward through the thread pool. Changes numerics for B >= 2 —
+     * see the bench_fig15 multi-view ablation. SlamSystem overrides
+     * this field from SlamConfig::multiViewWindow.
+     */
+    u32 multiViewWindow = 0;
     MapLearningRates learningRates;
     LossConfig loss;
 
@@ -72,6 +85,10 @@ struct MapBatchItem
     u32 iterationBudget = 0; //!< 0 = mapper config default
     double mapLoss = 0;      //!< final loss for this keyframe
     size_t densified = 0;    //!< Gaussians inserted for this keyframe
+    /** Views rendered by this keyframe's final optimiser step (1 on
+     *  the sequential path; up to multiViewWindow once the window has
+     *  filled). */
+    u32 multiViews = 0;
 };
 
 /** Keyframe mapper; owns the keyframe window and the map optimiser. */
@@ -107,12 +124,30 @@ class Mapper
      * batch, so sync/async byte-identity holds by construction; larger
      * batches amortise the per-drain setup the asynchronous map worker
      * would otherwise pay per job. Per-item iteration budgets cap the
-     * configured count (0 keeps it; never raises it).
+     * configured count (0 keeps it; never raises it). With
+     * multiViewWindow >= 2 the optimise stage runs multi-view steps
+     * (several window keyframes per averaged update — see
+     * src/slam/README.md); <= 1 keeps the sequential alternation.
      */
     void mapBatch(const gs::RenderPipeline &pipeline,
                   gs::GaussianCloud &cloud, const Intrinsics &intr,
                   std::vector<MapBatchItem> &items,
                   const MapIterationHook &hook = nullptr);
+
+    /**
+     * Window indices optimiser step `iteration` renders, newest view
+     * last (its loss is the step's reported loss). With
+     * multi_view_window <= 1 this is the sequential alternation —
+     * newest on even steps, a rotating pick of the rest on odd ones —
+     * so B = 0 and B = 1 reproduce the single-view recipe exactly.
+     * With B >= 2 every step renders the newest keyframe plus
+     * min(B, window_size) - 1 distinct older ones, rotated by step so
+     * the whole window is revisited. Exposed for the window-selection
+     * unit tests.
+     */
+    static std::vector<size_t> multiViewSelection(size_t window_size,
+                                                  u32 iteration,
+                                                  u32 multi_view_window);
 
     /** Remove near-transparent Gaussians; returns how many were cut. */
     size_t pruneTransparent(gs::GaussianCloud &cloud);
@@ -137,6 +172,11 @@ class Mapper
     MapperConfig config_;
     std::deque<KeyframeRecord> window_;
     MapOptimizer optimizer_;
+    /** Per-view scratch for multi-view steps (views beyond the first
+     *  write here before folding into the shared batch arena). */
+    gs::BackwardResult viewScratch_;
+    /** Views rendered by the most recent optimiser step. */
+    u32 lastStepViews_ = 0;
 };
 
 } // namespace rtgs::slam

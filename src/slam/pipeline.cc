@@ -99,6 +99,12 @@ SlamSystem::SlamSystem(const SlamConfig &config,
     : config_(config), intrinsics_(intrinsics),
       tracker_(config.tracker), mapper_(config.mapper)
 {
+    // SlamConfig::multiViewWindow is the authoritative multi-view
+    // knob at this layer; it overrides whatever the embedded mapper
+    // config carried.
+    config_.mapper.multiViewWindow = config.multiViewWindow;
+    mapper_.config().multiViewWindow = config.multiViewWindow;
+
     gs::RenderSettings settings;
     settings.background = {0.03f, 0.03f, 0.05f};
     pipeline_ = gs::RenderPipeline(settings);
@@ -509,7 +515,7 @@ SlamSystem::stageKeyframeDecision(const data::Frame &frame,
 
 double
 SlamSystem::mapKeyframe(KeyframeRecord record, u32 iteration_budget,
-                        size_t &densified)
+                        FrameReport &report)
 {
     // One-item batch: Mapper::mapBatch is the single authoritative
     // copy of the mapping recipe (densify -> admit -> optimise ->
@@ -518,7 +524,8 @@ SlamSystem::mapKeyframe(KeyframeRecord record, u32 iteration_budget,
     items[0].record = std::move(record);
     items[0].iterationBudget = iteration_budget;
     mapper_.mapBatch(pipeline_, cloud_, intrinsics_, items, mapHook_);
-    densified = items[0].densified;
+    report.densified = items[0].densified;
+    report.mapMultiViews = items[0].multiViews;
     return items[0].mapLoss;
 }
 
@@ -531,7 +538,7 @@ SlamSystem::stageMapSync(const data::Frame &frame, const SE3 &pose,
     report.mapLoss =
         mapKeyframe(KeyframeRecord{frame.index, pose, frame.rgb,
                                    frame.depth},
-                    budget ? budget->mapIterations : 0, report.densified);
+                    budget ? budget->mapIterations : 0, report);
     lastKeyframeIndex_ = frame.index;
     lastKeyframeImage_ = frame.rgb;
     lastKeyframePose_ = pose;
@@ -600,6 +607,7 @@ SlamSystem::runMapBatch(std::vector<MapJob> &jobs)
         FrameReport &row = reports_[jobs[j].reportIndex];
         row.densified = items[j].densified;
         row.mapLoss = items[j].mapLoss;
+        row.mapMultiViews = items[j].multiViews;
         // Batch wall time amortised over its jobs (rows sum to the
         // true batch cost).
         row.mapSeconds = seconds / static_cast<double>(jobs.size());

@@ -79,6 +79,24 @@ struct SlamConfig
      */
     u32 mapBatchSize = 1;
 
+    /**
+     * Multi-view mapping window B (the ROADMAP's cross-keyframe render
+     * batching): how many window keyframes each map optimiser step
+     * renders. 0 (the default) keeps the sequential one-view-per-step
+     * alternation, byte-identical to the pre-multi-view recipe, as is
+     * 1 (which selects the same single keyframe per step). B >= 2
+     * renders min(B, mapper.windowSize) views per step — the newest
+     * keyframe plus a rotating pick of the rest — accumulates their
+     * gradients into one shared arena with a deterministic fixed-chunk
+     * reduction (bitwise independent of the render worker count), and
+     * applies a single averaged update, overlapping one view's forward
+     * with another's backward through the pool. B >= 2 changes the
+     * numerics; the bench_fig15 multi-view ablation records the
+     * wall-clock/PSNR trade. Authoritative: copied over
+     * mapper.multiViewWindow at construction.
+     */
+    u32 multiViewWindow = 0;
+
     /** Build the per-profile default configuration. */
     static SlamConfig forAlgorithm(BaseAlgorithm algo);
 };
@@ -134,6 +152,10 @@ struct FrameReport
     double snapshotPublishSeconds = 0;
     /** Jobs in the drain batch that mapped this keyframe (async). */
     u32 mapBatchJobs = 0;
+    /** Views rendered by this keyframe's final map optimiser step
+     *  (1 on the sequential path, up to multiViewWindow once the
+     *  keyframe window has filled; 0 on non-keyframe rows). */
+    u32 mapMultiViews = 0;
 };
 
 /**
@@ -337,10 +359,11 @@ class SlamSystem
     /**
      * The mapping recipe shared by the sync and async paths: densify,
      * admit the keyframe to the window, optimise, prune transparent.
-     * Caller must hold whatever lock protects cloud_/mapper_ access.
+     * Fills the report's densified/mapMultiViews fields. Caller must
+     * hold whatever lock protects cloud_/mapper_ access.
      */
     double mapKeyframe(KeyframeRecord record, u32 iteration_budget,
-                       size_t &densified);
+                       FrameReport &report);
 
     /**
      * Latest published map snapshot (async mode). Map batches publish a

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in the repository's markdown files.
+
+Scans every tracked-directory ``*.md`` for inline links, resolves
+relative targets against the file's location, and exits non-zero if
+any target file does not exist. External links (http/https/mailto),
+pure same-file anchors, and image embeds (``![](...)`` — the scraped
+paper dumps reference figures that were never retrieved) are skipped;
+``path#fragment`` links are checked for the path part only. Fenced code blocks and inline code spans are
+stripped before scanning so bracket-heavy code is never misread as a
+link. Run from anywhere: ``python3 tools/check_markdown_links.py``.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", ".claude", "node_modules"}
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"```.*?```", re.S)
+CODE_RE = re.compile(r"`[^`]*`")
+
+
+def markdown_files(repo):
+    for root, dirs, files in os.walk(repo):
+        dirs[:] = [
+            d for d in dirs
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in files:
+            if name.endswith(".md"):
+                yield os.path.join(root, name)
+
+
+def main():
+    repo = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    checked_files = 0
+    checked_links = 0
+    bad = []
+    for path in sorted(markdown_files(repo)):
+        checked_files += 1
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        text = FENCE_RE.sub("", text)
+        text = CODE_RE.sub("", text)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue  # same-file anchor
+            checked_links += 1
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), file_part))
+            if not os.path.exists(resolved):
+                bad.append("%s: dead link -> %s"
+                           % (os.path.relpath(path, repo), target))
+    print("checked %d intra-repo links across %d markdown files"
+          % (checked_links, checked_files))
+    if bad:
+        print("\n".join(bad))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
