@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Fault-injection stress scenarios for the robustness layer: runs the
+ * SLAM system with the tracking-health monitor enabled against
+ * deterministic fault schedules (dropped frames, transport bursts,
+ * out-of-order timestamps, corrupted regions, exposure shifts, depth
+ * dropout, and a map-queue flood under the drop-oldest overflow
+ * policy) and reports per-scenario ATE RMSE, PSNR, recovery-frame
+ * counts, and queue-overflow drop accounting.
+ *
+ * Also pins the central robustness contract in passing: a clean run
+ * with the monitor ON is byte-identical to one with it OFF.
+ *
+ * Writes BENCH_fault_scenarios.json (override with
+ * RTGS_BENCH_JSON_FAULT).
+ */
+
+#include "bench_util.hh"
+
+#include <cstring>
+
+#include "data/fault_injector.hh"
+#include "slam/pipeline.hh"
+
+namespace
+{
+
+using namespace rtgs;
+
+/** Everything one stress scenario reports. */
+struct ScenarioOutcome
+{
+    std::string name;
+    size_t framesSeen = 0;
+    size_t framesDelivered = 0;
+    size_t streamDropped = 0;    //!< frames the schedule dropped
+    size_t rejectedInputs = 0;   //!< frames the monitor refused
+    size_t heldPoses = 0;        //!< post-track holds (divergence)
+    size_t framesNotOk = 0;      //!< frames reported != OK
+    size_t recoveries = 0;       //!< completed recovery episodes
+    size_t forcedKeyframes = 0;  //!< recovery re-anchors
+    size_t mapJobsDropped = 0;   //!< queue-overflow evictions
+    size_t watchdogTrips = 0;
+    double ateRmse = 0;
+    double psnrDb = 0;
+};
+
+slam::SlamConfig
+scenarioConfig(bool health_on)
+{
+    slam::SlamConfig cfg =
+        slam::SlamConfig::forAlgorithm(slam::BaseAlgorithm::MonoGs);
+    cfg.tracker.iterations = 10;
+    cfg.mapper.iterations = 12;
+    cfg.kfInterval = 4;
+    cfg.health.enabled = health_on;
+    return cfg;
+}
+
+/** Feed the dataset through a fault schedule into a SlamSystem. */
+ScenarioOutcome
+runScenario(const std::string &name, data::SyntheticDataset &ds,
+            const data::FaultSchedule &schedule,
+            const slam::SlamConfig &cfg)
+{
+    slam::SlamSystem sys(cfg, ds.intrinsics());
+    data::FaultInjector injector(schedule);
+
+    ScenarioOutcome out;
+    out.name = name;
+    std::vector<SE3> gt; // aligned with the delivered stream
+    u32 mid_delivered = 0;
+    for (u32 f = 0; f < ds.frameCount(); ++f) {
+        auto frame = injector.process(ds.frame(f));
+        if (!frame)
+            continue;
+        slam::FrameReport report = sys.processFrame(*frame);
+        gt.push_back(ds.gtPose(f));
+        if (gt.size() == (ds.frameCount() + 1) / 2)
+            mid_delivered = f;
+        if (report.healthState != slam::HealthState::Ok)
+            ++out.framesNotOk;
+        if (report.forcedRecoveryKeyframe)
+            ++out.forcedKeyframes;
+    }
+    sys.waitForMapping();
+
+    data::FaultStats stats = injector.stats();
+    out.framesSeen = stats.framesSeen;
+    out.framesDelivered = stats.framesDelivered;
+    out.streamDropped = stats.dropped;
+    if (const slam::HealthMonitor *monitor = sys.healthMonitor()) {
+        out.rejectedInputs = monitor->rejectedInputs();
+        out.heldPoses = monitor->heldPoses();
+        out.recoveries = monitor->recoveries();
+    }
+    out.mapJobsDropped = sys.mapJobsDropped();
+    out.watchdogTrips = sys.mapWatchdogTrips();
+    out.ateRmse = slam::computeAte(sys.trajectory(), gt).rmse;
+    // PSNR against the CLEAN mid frame: the map must explain the true
+    // scene even when the input stream was perturbed.
+    out.psnrDb = psnr(sys.renderView(ds.gtPose(mid_delivered)),
+                      ds.frame(mid_delivered).rgb);
+    return out;
+}
+
+/** Byte-compare two trajectories. */
+bool
+identicalTrajectories(const std::vector<SE3> &a,
+                      const std::vector<SE3> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::memcmp(&a[i].rot, &b[i].rot, sizeof(a[i].rot)) != 0 ||
+            std::memcmp(&a[i].trans, &b[i].trans, sizeof(a[i].trans)) !=
+                0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace rtgs;
+    using namespace rtgs::bench;
+
+    printBenchHeader("Fault-injection stress scenarios "
+                     "(MonoGS base, tracking-health monitor on)");
+
+    data::DatasetSpec spec =
+        benchSpec(data::DatasetSpec::tumLike(benchScale()));
+    spec.trajectory.frameCount = std::max(benchFrames(), 16u);
+    data::SyntheticDataset dataset(spec);
+    const u32 frames = dataset.frameCount();
+
+    // --- contract check: monitor on == monitor off over clean input
+    bool byte_identical;
+    {
+        slam::SlamSystem off(scenarioConfig(false), dataset.intrinsics());
+        slam::SlamSystem on(scenarioConfig(true), dataset.intrinsics());
+        for (u32 f = 0; f < frames; ++f) {
+            off.processFrame(dataset.frame(f));
+            on.processFrame(dataset.frame(f));
+        }
+        byte_identical =
+            identicalTrajectories(off.trajectory(), on.trajectory());
+        std::printf("clean-run byte-identity (monitor on vs off): %s\n\n",
+                    byte_identical ? "IDENTICAL" : "DIVERGED");
+    }
+
+    // --- the stress schedule per scenario
+    struct Scenario
+    {
+        std::string name;
+        data::FaultSchedule schedule;
+        slam::SlamConfig cfg;
+    };
+    std::vector<Scenario> scenarios;
+
+    auto add = [&](const std::string &name,
+                   const data::FaultSchedule &schedule,
+                   const slam::SlamConfig &cfg) {
+        scenarios.push_back({name, schedule, cfg});
+    };
+
+    data::FaultSchedule clean;
+    add("clean", clean, scenarioConfig(true));
+
+    data::FaultSchedule drops;
+    drops.seed = 31;
+    drops.dropProbability = Real(0.25);
+    add("dropped_frames", drops, scenarioConfig(true));
+
+    data::FaultSchedule burst;
+    burst.dropBurstStart = frames / 3;
+    burst.dropBurstLength = 3;
+    add("drop_burst", burst, scenarioConfig(true));
+
+    data::FaultSchedule ooo;
+    ooo.seed = 32;
+    ooo.outOfOrderProbability = Real(0.2);
+    ooo.duplicateTimestampProbability = Real(0.1);
+    add("out_of_order", ooo, scenarioConfig(true));
+
+    // Seed chosen so the corruption draws spare the bootstrap frames:
+    // rejecting frame 0 defers map initialisation, which measures the
+    // (known, uninteresting) pre-bootstrap transient instead of the
+    // recovery behaviour this scenario is about.
+    data::FaultSchedule corrupt;
+    corrupt.seed = 52;
+    corrupt.corruptionProbability = Real(0.3);
+    corrupt.corruptionAreaFraction = Real(0.3);
+    corrupt.corruptionNanFraction = Real(0.2);
+    add("corruption_burst", corrupt, scenarioConfig(true));
+
+    data::FaultSchedule exposure;
+    exposure.seed = 34;
+    exposure.exposureShiftProbability = Real(0.5);
+    add("exposure_shift", exposure, scenarioConfig(true));
+
+    data::FaultSchedule depth_drop;
+    depth_drop.seed = 35;
+    depth_drop.depthDropoutProbability = Real(0.4);
+    add("depth_dropout", depth_drop, scenarioConfig(true));
+
+    // Queue flood: clean input, but an async depth-1 map queue against
+    // a deliberately slow mapper under the drop-oldest policy — the
+    // frame loop must never wedge, and every eviction is accounted.
+    slam::SlamConfig flood_cfg = scenarioConfig(true);
+    flood_cfg.mapQueueDepth = 1;
+    flood_cfg.mapOverflowPolicy = slam::OverflowPolicy::DropOldest;
+    flood_cfg.kfInterval = 1;
+    flood_cfg.tracker.iterations = 2;
+    flood_cfg.mapper.iterations = 40;
+    add("queue_flood", clean, flood_cfg);
+
+    TablePrinter table({"scenario", "delivered", "rejected", "not-OK",
+                        "recoveries", "map-drops", "ATE RMSE",
+                        "PSNR dB"});
+    std::vector<ScenarioOutcome> outcomes;
+    for (const Scenario &s : scenarios) {
+        ScenarioOutcome out =
+            runScenario(s.name, dataset, s.schedule, s.cfg);
+        table.addRow({out.name,
+                      std::to_string(out.framesDelivered) + "/" +
+                          std::to_string(out.framesSeen),
+                      std::to_string(out.rejectedInputs),
+                      std::to_string(out.framesNotOk),
+                      std::to_string(out.recoveries),
+                      std::to_string(out.mapJobsDropped),
+                      TablePrinter::num(out.ateRmse, 4),
+                      TablePrinter::num(out.psnrDb, 2)});
+        outcomes.push_back(std::move(out));
+    }
+    table.print();
+
+    std::printf("\nShape check: every faulted stream completes; "
+                "rejections and held poses stay bounded; the\n"
+                "clean and queue-flood scenarios report zero input "
+                "rejections (the flood only sheds map jobs).\n");
+
+    std::string path;
+    std::FILE *out = openBenchJson("RTGS_BENCH_JSON_FAULT",
+                                   "BENCH_fault_scenarios.json", path);
+    if (!out)
+        return 1;
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"fault_scenarios\",\n"
+                 "  \"frames\": %u,\n"
+                 "  \"scale\": %.3f,\n"
+                 "  \"clean_byte_identical\": %s,\n"
+                 "  \"scenarios\": [\n",
+                 frames, static_cast<double>(benchScale()),
+                 byte_identical ? "true" : "false");
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        const ScenarioOutcome &o = outcomes[i];
+        std::fprintf(
+            out,
+            "    {\"name\": \"%s\", \"frames_seen\": %zu, "
+            "\"frames_delivered\": %zu, \"stream_dropped\": %zu, "
+            "\"rejected_inputs\": %zu, \"held_poses\": %zu, "
+            "\"frames_not_ok\": %zu, \"recoveries\": %zu, "
+            "\"forced_keyframes\": %zu, \"map_jobs_dropped\": %zu, "
+            "\"watchdog_trips\": %zu, \"ate_rmse\": %.6f, "
+            "\"psnr_db\": %.3f}%s\n",
+            o.name.c_str(), o.framesSeen, o.framesDelivered,
+            o.streamDropped, o.rejectedInputs, o.heldPoses,
+            o.framesNotOk, o.recoveries, o.forcedKeyframes,
+            o.mapJobsDropped, o.watchdogTrips, o.ateRmse, o.psnrDb,
+            i + 1 == outcomes.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}

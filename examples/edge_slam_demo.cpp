@@ -94,6 +94,9 @@ main()
             cfg.base.mapQueueDepth = 2;
             cfg.base.mapBatchSize = 2;
             cfg.base.multiViewWindow = 2;
+            // Health monitoring rides along for free on clean input
+            // (byte-identical to monitor-off; docs/ROBUSTNESS.md).
+            cfg.base.health.enabled = true;
         }
         cfg.enablePruning = enhanced;
         cfg.enableDownsampling = enhanced;
@@ -155,6 +158,15 @@ main()
                         snap_stats.meanStaleFrames(),
                         rtgs.pruner().stats().prunedTotal,
                         max_map_views);
+        }
+        if (const slam::HealthMonitor *health =
+                rtgs.system().healthMonitor()) {
+            std::printf("  health: %s (%zu input rejections, %zu held "
+                        "poses, %zu recoveries, %zu map jobs dropped)\n",
+                        slam::healthStateName(health->state()),
+                        health->rejectedInputs(), health->heldPoses(),
+                        health->recoveries(),
+                        rtgs.system().mapJobsDropped());
         }
         return std::make_pair(collector.frames, ate);
     };

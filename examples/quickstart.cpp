@@ -41,6 +41,11 @@ main()
     config.base.mapQueueDepth = 2;
     config.base.mapBatchSize = 2;
     config.base.multiViewWindow = 2;
+    // Tracking-health monitor: validates input frames, watches for
+    // divergence, and escalates recovery. Free on clean streams (a
+    // monitor-on run is byte-identical to monitor-off) — see
+    // docs/ROBUSTNESS.md.
+    config.base.health.enabled = true;
     core::RtgsSlam rtgs(config, dataset.intrinsics());
 
     // 3. Feed frames.
@@ -52,13 +57,15 @@ main()
         gated_iterations += report.gatedTrackIterations;
         if (f % 6 == 0) {
             std::printf("  frame %2u  kf=%d  scale=%.2f  budget=%.2f  "
-                        "gaussians=%zu  map-gen=%llu  stale=%u\n",
+                        "gaussians=%zu  map-gen=%llu  stale=%u  "
+                        "health=%s\n",
                         f, report.base.isKeyframe ? 1 : 0,
                         report.trackingScale, report.gate.budgetScale,
                         report.base.gaussianCount,
                         static_cast<unsigned long long>(
                             report.base.snapshotGeneration),
-                        report.base.snapshotStaleFrames);
+                        report.base.snapshotStaleFrames,
+                        slam::healthStateName(report.base.healthState));
         }
     }
     rtgs.finish(); // drain async mapping, if configured
@@ -107,5 +114,12 @@ main()
                 "across %zu keyframes (window %u)\n",
                 max_map_views, keyframes,
                 config.base.multiViewWindow);
+    const slam::HealthMonitor *health = rtgs.system().healthMonitor();
+    std::printf("  health          : %s (%zu input rejections, "
+                "%zu held poses, %zu recoveries, %zu map jobs "
+                "dropped)\n",
+                slam::healthStateName(health->state()),
+                health->rejectedInputs(), health->heldPoses(),
+                health->recoveries(), rtgs.system().mapJobsDropped());
     return 0;
 }

@@ -8,16 +8,20 @@
  * of producers and consumers. The bounded capacity is the backpressure
  * mechanism: when `capacity` jobs are already pending, push() blocks the
  * producer, so the frame loop can never run unboundedly ahead of the
- * asynchronous mapper.
+ * asynchronous mapper. The non-blocking variants (tryPush, tryPushFor,
+ * pushEvictingOldest) support the MapWorker's overflow policies:
+ * watchdog-bounded blocking and drop-oldest-with-accounting.
  */
 
 #ifndef RTGS_COMMON_BOUNDED_QUEUE_HH
 #define RTGS_COMMON_BOUNDED_QUEUE_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 namespace rtgs
@@ -49,6 +53,72 @@ class BoundedQueue
         });
         if (closed_)
             return false;
+        items_.push_back(std::move(value));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Enqueue without blocking. Moves from `value` and returns true on
+     * success; leaves `value` untouched and returns false when the
+     * queue is full or closed.
+     */
+    bool
+    tryPush(T &value)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_ || items_.size() >= capacity_)
+            return false;
+        items_.push_back(std::move(value));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Enqueue, blocking up to `timeout` while the queue is full. Moves
+     * from `value` and returns true on success; leaves `value`
+     * untouched and returns false on timeout or close. The overflow
+     * watchdog: a consumer wedged longer than the timeout surfaces as
+     * a false return instead of a deadlocked producer.
+     */
+    template <typename Rep, typename Period>
+    bool
+    tryPushFor(T &value,
+               const std::chrono::duration<Rep, Period> &timeout)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!notFull_.wait_for(lock, timeout, [this] {
+                return closed_ || items_.size() < capacity_;
+            })) {
+            return false;
+        }
+        if (closed_)
+            return false;
+        items_.push_back(std::move(value));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Enqueue without ever blocking: when the queue is full, the
+     * OLDEST queued item is evicted into `evicted` to make room (the
+     * drop-oldest overflow policy — fresher work supersedes stale
+     * work). Returns false only when the queue is closed, in which
+     * case nothing is enqueued or evicted.
+     */
+    bool
+    pushEvictingOldest(T value, std::optional<T> &evicted)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_)
+            return false;
+        if (items_.size() >= capacity_) {
+            evicted.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
         items_.push_back(std::move(value));
         lock.unlock();
         notEmpty_.notify_one();

@@ -214,10 +214,12 @@ RtgsSlam::processFrame(const data::Frame &frame)
     report.base = system_->processFrame(frame, scale, &predicted_kf,
                                         use_budget ? &budget : nullptr);
     // Claim skipped iterations only when rendering-based tracking
-    // actually ran under the reduced budget.
+    // actually ran under the reduced budget (the health monitor's
+    // recovery boost overrides the gate, so a boosted frame skipped
+    // nothing).
     if (budget.trackIterations > 0 &&
         budget.trackIterations < config_.base.tracker.iterations &&
-        report.base.trackIterations > 0) {
+        report.base.trackIterations > 0 && !report.base.budgetBoosted) {
         report.gatedTrackIterations =
             config_.base.tracker.iterations - budget.trackIterations;
     }

@@ -94,10 +94,22 @@ SimilarityGate::evaluate(const ImageRGB &rgb,
             decision.workloadChange =
                 static_cast<Real>(std::abs(cur - prev) / prev);
         }
-        decision.budgetScale =
-            budgetScaleFor(decision.rmse, decision.ssimScore,
-                           decision.workloadChange, config_);
-        decision.gated = decision.budgetScale < Real(1);
+        if (!std::isfinite(decision.rmse) ||
+            !std::isfinite(decision.ssimScore)) {
+            // A corrupted probe (NaN pixels in either frame) carries no
+            // similarity information. Fail open: treat the frame as
+            // fully dynamic so corruption can never cause the gate to
+            // skip iterations, and keep the decision NaN-free.
+            decision.rmse = config_.rmseDynamic;
+            decision.ssimScore = 0;
+            decision.budgetScale = Real(1);
+            decision.gated = false;
+        } else {
+            decision.budgetScale =
+                budgetScaleFor(decision.rmse, decision.ssimScore,
+                               decision.workloadChange, config_);
+            decision.gated = decision.budgetScale < Real(1);
+        }
     }
 
     prevProbe_ = std::move(probe);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -24,6 +25,51 @@ hashName(const std::string &s)
 }
 
 } // namespace
+
+bool
+isFinitePose(const SE3 &pose)
+{
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c)
+            if (!std::isfinite(pose.rot.m[r][c]))
+                return false;
+    return std::isfinite(pose.trans.x) && std::isfinite(pose.trans.y) &&
+           std::isfinite(pose.trans.z);
+}
+
+size_t
+sanitizeTrajectoryStream(std::vector<SE3> &poses,
+                         std::vector<double> &timestamps)
+{
+    rtgs_assert(timestamps.empty() || timestamps.size() == poses.size());
+    bool check_times = !timestamps.empty();
+    size_t kept = 0;
+    double last_ts = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < poses.size(); ++i) {
+        if (!isFinitePose(poses[i])) {
+            warn("trajectory entry %zu rejected: non-finite pose", i);
+            continue;
+        }
+        if (check_times) {
+            double ts = timestamps[i];
+            if (!std::isfinite(ts) || ts <= last_ts) {
+                warn("trajectory entry %zu rejected: timestamp %.6f "
+                     "does not advance past %.6f",
+                     i, ts, last_ts);
+                continue;
+            }
+            last_ts = ts;
+            timestamps[kept] = ts;
+        }
+        poses[kept] = poses[i];
+        ++kept;
+    }
+    size_t removed = poses.size() - kept;
+    poses.resize(kept);
+    if (check_times)
+        timestamps.resize(kept);
+    return removed;
+}
 
 u32
 DatasetSpec::width() const
@@ -159,6 +205,19 @@ SyntheticDataset::SyntheticDataset(const DatasetSpec &spec)
                                       spec.height());
     cloud_ = buildScene(spec.scene);
     poses_ = generateTrajectory(spec.trajectory);
+    double dt = spec.fps > 0 ? 1.0 / static_cast<double>(spec.fps)
+                             : 1.0 / 30.0;
+    timestamps_.resize(poses_.size());
+    for (size_t i = 0; i < poses_.size(); ++i)
+        timestamps_[i] = static_cast<double>(i) * dt;
+    // The generator only produces finite, monotonic streams, but the
+    // loading path is hardened all the same: garbage poses/timestamps
+    // are logged and skipped here instead of reaching tracking.
+    size_t rejected = sanitizeTrajectoryStream(poses_, timestamps_);
+    if (rejected > 0) {
+        warn("dataset '%s': rejected %zu trajectory entr%s at load",
+             spec.name.c_str(), rejected, rejected == 1 ? "y" : "ies");
+    }
     cache_.resize(poses_.size());
 
     gs::RenderSettings settings;
@@ -173,6 +232,13 @@ SyntheticDataset::gtPose(u32 index) const
     return poses_[index];
 }
 
+double
+SyntheticDataset::timestamp(u32 index) const
+{
+    rtgs_assert(index < timestamps_.size());
+    return timestamps_[index];
+}
+
 const Frame &
 SyntheticDataset::frame(u32 index)
 {
@@ -185,6 +251,7 @@ SyntheticDataset::frame(u32 index)
 
     Frame f;
     f.index = index;
+    f.timestamp = timestamps_[index];
     f.rgb = std::move(ctx.result.image);
     f.gtPose = poses_[index];
 

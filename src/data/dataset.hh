@@ -30,10 +30,30 @@ namespace rtgs::data
 struct Frame
 {
     u32 index = 0;
+    /** Capture time in seconds. Real sensor streams deliver these;
+     *  synthetic datasets derive them from the index at `fps`. The
+     *  fault injector perturbs them (duplicates, regressions) to model
+     *  out-of-order delivery. */
+    double timestamp = 0;
     ImageRGB rgb;
     ImageF depth;
     SE3 gtPose; // world -> camera
 };
+
+/** True when every element of the pose is finite. */
+bool isFinitePose(const SE3 &pose);
+
+/**
+ * Harden an externally sourced pose/timestamp stream before it reaches
+ * tracking: drops entries with NaN/inf poses and entries whose
+ * timestamp does not strictly increase over the last kept entry. Each
+ * rejection is logged (warn) instead of silently propagating garbage
+ * into the pipeline. `timestamps` may be empty (no timestamp check);
+ * otherwise it must parallel `poses`. Returns the number of entries
+ * removed; both vectors are compacted in place.
+ */
+size_t sanitizeTrajectoryStream(std::vector<SE3> &poses,
+                                std::vector<double> &timestamps);
 
 /** Sensor noise model applied to ground-truth observations. */
 struct NoiseConfig
@@ -58,6 +78,8 @@ struct DatasetSpec
     /** Linear scale applied to the native resolution (CPU budget). */
     Real resolutionScale = Real(0.25);
     Real fovX = Real(1.2);
+    /** Nominal capture rate; frame timestamps are index / fps. */
+    Real fps = Real(30);
     SceneConfig scene;
     TrajectoryConfig trajectory;
     NoiseConfig noise;
@@ -107,6 +129,9 @@ class SyntheticDataset
     /** Ground-truth pose of a frame. */
     const SE3 &gtPose(u32 index) const;
 
+    /** Capture timestamp of a frame (index / fps; strictly monotonic). */
+    double timestamp(u32 index) const;
+
     /** Fetch (render-on-demand and cache) a frame. */
     const Frame &frame(u32 index);
 
@@ -118,6 +143,7 @@ class SyntheticDataset
     Intrinsics intrinsics_;
     gs::GaussianCloud cloud_;
     std::vector<SE3> poses_;
+    std::vector<double> timestamps_;
     std::vector<std::optional<Frame>> cache_;
     gs::RenderPipeline pipeline_;
 };

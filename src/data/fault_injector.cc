@@ -1,0 +1,181 @@
+#include "data/fault_injector.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace rtgs::data
+{
+
+bool
+FaultSchedule::anyEnabled() const
+{
+    return dropProbability > 0 || dropBurstLength > 0 ||
+           duplicateTimestampProbability > 0 || outOfOrderProbability > 0 ||
+           corruptionProbability > 0 || exposureShiftProbability > 0 ||
+           depthDropoutProbability > 0;
+}
+
+FaultInjector::FaultInjector(const FaultSchedule &schedule)
+    : schedule_(schedule)
+{
+}
+
+const FaultRecord &
+FaultInjector::lastRecord() const
+{
+    rtgs_assert(!records_.empty());
+    return records_.back();
+}
+
+FaultStats
+FaultInjector::stats() const
+{
+    FaultStats s;
+    for (const FaultRecord &r : records_) {
+        ++s.framesSeen;
+        if (r.dropped) {
+            ++s.dropped;
+            continue;
+        }
+        ++s.framesDelivered;
+        if (r.duplicatedTimestamp || r.outOfOrderTimestamp)
+            ++s.timestampFaults;
+        if (r.corrupted)
+            ++s.corrupted;
+        if (r.exposureShifted)
+            ++s.exposureShifted;
+        if (r.depthDropout)
+            ++s.depthDropouts;
+    }
+    return s;
+}
+
+std::optional<Frame>
+FaultInjector::process(const Frame &frame)
+{
+    FaultRecord rec;
+    rec.frameIndex = frame.index;
+
+    // One RNG per (seed, frame index, fault class) so fault classes
+    // draw independently: enabling corruption never changes which
+    // frames drop, and vice versa.
+    auto frameRng = [&](u64 salt) {
+        return Rng(schedule_.seed ^
+                   (static_cast<u64>(frame.index) * 0x9E3779B97F4A7C15ull) ^
+                   (salt * 0xBF58476D1CE4E5B9ull));
+    };
+
+    // --- drop decision first: a dropped frame has no other faults.
+    bool burst_drop =
+        schedule_.dropBurstLength > 0 &&
+        frame.index >= schedule_.dropBurstStart &&
+        frame.index < schedule_.dropBurstStart + schedule_.dropBurstLength;
+    if (burst_drop || (schedule_.dropProbability > 0 &&
+                       frameRng(1).chance(schedule_.dropProbability))) {
+        rec.dropped = true;
+        records_.push_back(rec);
+        return std::nullopt;
+    }
+
+    Frame out = frame; // copies image storage; the source stays clean
+
+    // --- timestamp faults (duplicate wins over out-of-order when both
+    // fire; either way the stream stops being strictly monotonic).
+    if (haveDelivered_) {
+        Rng ts_rng = frameRng(2);
+        if (schedule_.duplicateTimestampProbability > 0 &&
+            ts_rng.chance(schedule_.duplicateTimestampProbability)) {
+            out.timestamp = prevDeliveredTimestamp_;
+            rec.duplicatedTimestamp = true;
+        } else if (schedule_.outOfOrderProbability > 0 &&
+                   ts_rng.chance(schedule_.outOfOrderProbability)) {
+            // Regress behind the previous delivery by a fraction of the
+            // inter-frame gap: the magnitude of a reordered packet.
+            double period =
+                std::max(1e-3, out.timestamp - prevDeliveredTimestamp_);
+            out.timestamp = prevDeliveredTimestamp_ -
+                            period * ts_rng.uniform(0.5, 1.5);
+            rec.outOfOrderTimestamp = true;
+        }
+    }
+
+    // --- exposure shift: linear gain + bias on every RGB channel.
+    if (schedule_.exposureShiftProbability > 0 &&
+        frameRng(4).chance(schedule_.exposureShiftProbability)) {
+        Rng rng = frameRng(5);
+        rec.exposureShifted = true;
+        rec.exposureGain = static_cast<Real>(rng.uniform(
+            static_cast<double>(schedule_.exposureGainMin),
+            static_cast<double>(schedule_.exposureGainMax)));
+        rec.exposureBias = static_cast<Real>(
+            rng.normal(0, static_cast<double>(schedule_.exposureBiasSigma)));
+        for (size_t i = 0; i < out.rgb.pixelCount(); ++i) {
+            auto shift = [&](Real v) {
+                return std::clamp(v * rec.exposureGain + rec.exposureBias,
+                                  Real(0), Real(1));
+            };
+            out.rgb[i].x = shift(out.rgb[i].x);
+            out.rgb[i].y = shift(out.rgb[i].y);
+            out.rgb[i].z = shift(out.rgb[i].z);
+        }
+    }
+
+    // --- corrupted rectangle: zeroed or noise-filled, optionally with
+    // sparse NaNs punched into rgb + depth.
+    if (schedule_.corruptionProbability > 0 &&
+        frameRng(6).chance(schedule_.corruptionProbability) &&
+        out.rgb.width() > 0 && out.rgb.height() > 0) {
+        Rng rng = frameRng(7);
+        Real side = std::sqrt(std::clamp(schedule_.corruptionAreaFraction,
+                                         Real(0), Real(1)));
+        u32 w = std::max<u32>(
+            1, static_cast<u32>(side * static_cast<Real>(out.rgb.width())));
+        u32 h = std::max<u32>(
+            1, static_cast<u32>(side * static_cast<Real>(out.rgb.height())));
+        u32 x0 = static_cast<u32>(rng.uniformInt(out.rgb.width() - w + 1));
+        u32 y0 = static_cast<u32>(rng.uniformInt(out.rgb.height() - h + 1));
+        rec.corrupted = true;
+        rec.corruptX = x0;
+        rec.corruptY = y0;
+        rec.corruptW = w;
+        rec.corruptH = h;
+        const Real qnan = std::numeric_limits<Real>::quiet_NaN();
+        for (u32 y = y0; y < y0 + h; ++y) {
+            for (u32 x = x0; x < x0 + w; ++x) {
+                Vec3f &px = out.rgb.at(x, y);
+                if (schedule_.corruptionZeroes) {
+                    px = {0, 0, 0};
+                } else {
+                    px = {static_cast<Real>(rng.uniform()),
+                          static_cast<Real>(rng.uniform()),
+                          static_cast<Real>(rng.uniform())};
+                }
+                if (schedule_.corruptionNanFraction > 0 &&
+                    rng.chance(static_cast<double>(
+                        schedule_.corruptionNanFraction))) {
+                    px = {qnan, qnan, qnan};
+                    if (x < out.depth.width() && y < out.depth.height())
+                        out.depth.at(x, y) = qnan;
+                }
+            }
+        }
+    }
+
+    // --- depth sensor dropout: the whole depth image reads invalid.
+    if (schedule_.depthDropoutProbability > 0 &&
+        frameRng(8).chance(schedule_.depthDropoutProbability)) {
+        rec.depthDropout = true;
+        for (size_t i = 0; i < out.depth.pixelCount(); ++i)
+            out.depth[i] = 0;
+    }
+
+    prevDeliveredTimestamp_ = out.timestamp;
+    haveDelivered_ = true;
+    records_.push_back(rec);
+    return out;
+}
+
+} // namespace rtgs::data

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic fault-injection for synthetic RGB-D streams.
+ *
+ * Real traffic is not the clean, monotonic stream the synthetic
+ * datasets produce: frames drop, timestamps duplicate or regress,
+ * auto-exposure jumps, sensors blank out, and transmission errors
+ * corrupt image regions. The FaultInjector perturbs a frame stream
+ * with exactly those failure modes, each independently toggleable and
+ * RNG-seeded so every stress scenario is reproducible bit-for-bit.
+ * Every perturbation is reported per-frame (FaultRecord), which is
+ * what the acceptance tests and bench_fault_scenarios pin their
+ * ATE/PSNR/recovery envelopes against.
+ */
+
+#ifndef RTGS_DATA_FAULT_INJECTOR_HH
+#define RTGS_DATA_FAULT_INJECTOR_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "data/dataset.hh"
+
+namespace rtgs::data
+{
+
+/**
+ * Which faults a scenario injects, and how hard. All probabilities are
+ * per-frame Bernoulli draws from a per-frame RNG derived from `seed`
+ * and the frame index, so toggling one fault class on or off never
+ * shifts the draws of another. Defaults are all-off: a default
+ * schedule passes frames through untouched.
+ */
+struct FaultSchedule
+{
+    u64 seed = 1;
+
+    // --- dropped frames (the stream simply skips them)
+    Real dropProbability = 0;
+    /** Deterministic drop burst [burstStart, burstStart+burstLength):
+     *  models a transport stall; 0 length disables. */
+    u32 dropBurstStart = 0;
+    u32 dropBurstLength = 0;
+
+    // --- timestamp faults (image content untouched)
+    /** Reuse the previous delivered frame's timestamp. */
+    Real duplicateTimestampProbability = 0;
+    /** Regress the timestamp behind the previous delivered frame's. */
+    Real outOfOrderProbability = 0;
+
+    // --- corrupted image regions
+    Real corruptionProbability = 0;
+    /** Fraction of the frame area the corrupted rectangle covers. */
+    Real corruptionAreaFraction = Real(0.25);
+    /** true: zero the region; false: fill it with uniform noise. */
+    bool corruptionZeroes = true;
+    /** Also punch NaNs into a sparse subset of the corrupted region's
+     *  pixels (rgb + depth), exercising NaN input validation. */
+    Real corruptionNanFraction = 0;
+
+    // --- exposure shifts (auto-exposure hunting)
+    Real exposureShiftProbability = 0;
+    Real exposureGainMin = Real(0.55);
+    Real exposureGainMax = Real(1.60);
+    Real exposureBiasSigma = Real(0.03);
+
+    // --- depth sensor dropout (whole-frame: depth image zeroed)
+    Real depthDropoutProbability = 0;
+
+    /** True when any fault class can fire. */
+    bool anyEnabled() const;
+};
+
+/** What the injector did to one source frame. */
+struct FaultRecord
+{
+    u32 frameIndex = 0;
+    bool dropped = false;
+    bool duplicatedTimestamp = false;
+    bool outOfOrderTimestamp = false;
+    bool corrupted = false;
+    bool exposureShifted = false;
+    bool depthDropout = false;
+    Real exposureGain = Real(1);
+    Real exposureBias = 0;
+    /** Corrupted rectangle (x, y, w, h); zero-sized when !corrupted. */
+    u32 corruptX = 0, corruptY = 0, corruptW = 0, corruptH = 0;
+};
+
+/** Aggregate fault counts over a run (sums of per-frame records). */
+struct FaultStats
+{
+    size_t framesSeen = 0;
+    size_t framesDelivered = 0;
+    size_t dropped = 0;
+    size_t timestampFaults = 0;
+    size_t corrupted = 0;
+    size_t exposureShifted = 0;
+    size_t depthDropouts = 0;
+};
+
+/**
+ * Stateful stream perturber: feed source frames in order through
+ * process(); a nullopt result means the frame was dropped. Records
+ * every decision (records(), stats()). Deterministic: the same
+ * schedule over the same frame sequence produces byte-identical
+ * outputs and records.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultSchedule &schedule);
+
+    const FaultSchedule &schedule() const { return schedule_; }
+
+    /**
+     * Perturb the next source frame. Returns the delivered frame, or
+     * nullopt when the schedule drops it. The returned frame owns its
+     * (possibly corrupted) image storage.
+     */
+    std::optional<Frame> process(const Frame &frame);
+
+    /** One record per source frame fed through process(). */
+    const std::vector<FaultRecord> &records() const { return records_; }
+
+    /** Record of the most recent process() call. */
+    const FaultRecord &lastRecord() const;
+
+    /** Aggregate counts over all records so far. */
+    FaultStats stats() const;
+
+  private:
+    FaultSchedule schedule_;
+    std::vector<FaultRecord> records_;
+    double prevDeliveredTimestamp_ = 0;
+    bool haveDelivered_ = false;
+};
+
+} // namespace rtgs::data
+
+#endif // RTGS_DATA_FAULT_INJECTOR_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tracking-health monitoring with graceful degradation and recovery.
+ *
+ * The staged pipeline assumes its input stream is sane and its tracker
+ * converges; neither survives contact with a real sensor. The
+ * HealthMonitor sits between the track stage and the keyframe decision
+ * and closes that gap in two places:
+ *
+ *  1. Up-front input validation — NaN pixels, non-monotonic
+ *     timestamps, and depth images with almost no valid samples are
+ *     caught before tracking touches them. Rejected frames hold the
+ *     constant-velocity pose and skip the frame; depth-starved frames
+ *     degrade to RGB-only tracking instead of ingesting garbage.
+ *  2. Tracking-divergence detection — a loss spike over the running
+ *     baseline or an implausible pose jump against the
+ *     constant-velocity model flags the frame as suspect; an optional
+ *     probe-PSNR render (only computed for suspect frames, so the
+ *     clean path costs nothing) can veto false alarms.
+ *
+ * Recovery escalates: hold-pose-and-skip on the first suspect frame,
+ * a boosted tracking-iteration budget while relocalizing, and a forced
+ * keyframe that re-anchors the map on the first clean frame. The
+ * OK / RELOCALIZING / LOST state is surfaced per frame in FrameReport.
+ *
+ * The monitor is pure bookkeeping: with clean input and converging
+ * tracking it never alters a pose, budget, or keyframe decision, so a
+ * monitor-on run of a fault-free stream is byte-identical to a
+ * monitor-off run (tests/test_health_monitor.cc pins this).
+ */
+
+#ifndef RTGS_SLAM_HEALTH_MONITOR_HH
+#define RTGS_SLAM_HEALTH_MONITOR_HH
+
+#include <functional>
+
+#include "data/dataset.hh"
+
+namespace rtgs::slam
+{
+
+/** Tracking-health state surfaced per frame. */
+enum class HealthState
+{
+    Ok,           //!< tracking converges, input sane
+    Relocalizing, //!< recently suspect; recovery escalation active
+    Lost          //!< suspect for >= lostPatience consecutive frames
+};
+
+/** Human-readable health-state name ("OK" / "RELOCALIZING" / "LOST"). */
+const char *healthStateName(HealthState state);
+
+/** Health-monitor configuration. Disabled by default: the fault-free
+ *  pipeline stays byte-identical with the monitor off OR on. */
+struct HealthConfig
+{
+    bool enabled = false;
+
+    // --- input validation (pre-track)
+    /** Reject the frame when the fraction of non-finite rgb/depth
+     *  pixels exceeds this (0 = any NaN rejects). */
+    Real maxNanPixelFraction = 0;
+    /** Reject frames whose timestamp does not strictly advance past
+     *  the last accepted frame's (duplicates and regressions). */
+    bool requireMonotonicTimestamps = true;
+    /** Below this valid-depth fraction the depth image is ignored and
+     *  the frame tracks RGB-only (sensor dropout degradation). */
+    Real minValidDepthFraction = Real(0.05);
+
+    // --- divergence detection (post-track)
+    /** Loss spike: trackLoss > max(lossSpikeFloor, EMA * factor). */
+    Real lossSpikeFactor = Real(3);
+    /** Absolute loss below which a frame is never a spike. */
+    double lossSpikeFloor = 0.02;
+    /** EMA smoothing for the clean-frame loss baseline. */
+    Real lossEmaAlpha = Real(0.3);
+    /** Pose-jump gates vs the constant-velocity prediction. */
+    Real maxTranslationJump = Real(0.30); //!< metres
+    Real maxRotationJump = Real(0.50);    //!< radians
+
+    // --- probe confirmation (suspect frames only)
+    /** Render a downsampled probe of the map at the tracked pose and
+     *  veto the suspect flag when its PSNR is healthy. */
+    bool probeConfirm = true;
+    /** Probe PSNR (dB) at or above which tracking counts as healthy. */
+    Real probePsnrMinDb = Real(11);
+    /** Probe render width in pixels (height keeps the aspect). */
+    u32 probeWidth = 64;
+
+    // --- recovery escalation
+    /** Tracking-iteration multiplier while not Ok (allowed to exceed
+     *  the configured count — the inverse of the similarity gate). */
+    Real boostFactor = Real(1.5);
+    /** Consecutive clean frames required to return to Ok. */
+    u32 recoveryOkFrames = 2;
+    /** Consecutive suspect frames before declaring Lost. */
+    u32 lostPatience = 5;
+};
+
+/** Pre-track input-validation verdict. */
+struct InputCheck
+{
+    bool reject = false;       //!< skip this frame entirely
+    bool nanPixels = false;    //!< non-finite rgb/depth beyond threshold
+    bool badTimestamp = false; //!< duplicate or regressed timestamp
+    /** Depth mostly invalid: track RGB-only (not a rejection). */
+    bool depthInvalid = false;
+};
+
+/** Pre-track advice (recovery budget escalation). */
+struct FrameAdvice
+{
+    bool boostBudget = false;
+    /** Requested tracking iterations (raw count; exceeds the
+     *  configured count by design). 0 when not boosting. */
+    u32 trackIterations = 0;
+};
+
+/** Everything the post-track assessment inspects. */
+struct AssessInput
+{
+    double trackLoss = 0;
+    /** False for backends without a photometric loss (Photo-SLAM's
+     *  geometric tracking): disables the loss-spike signal. */
+    bool haveLoss = true;
+    SE3 trackedPose;
+    SE3 predictedPose; //!< constant-velocity prediction
+    /** Lazily renders the probe and returns its PSNR in dB; negative
+     *  means unavailable. Only invoked for suspect frames. Null
+     *  disables probe confirmation for this frame. */
+    std::function<double()> probePsnr;
+};
+
+/** Post-track verdict and the recovery actions to apply. */
+struct Assessment
+{
+    bool suspect = false;
+    bool holdPose = false;        //!< discard the tracked pose, keep the guess
+    bool suppressKeyframe = false;
+    bool forceKeyframe = false;   //!< recovery re-anchor
+    /** Probe PSNR when the probe ran this frame; -1 otherwise. */
+    double probePsnrDb = -1;
+    HealthState state = HealthState::Ok; //!< state after this frame
+};
+
+/**
+ * The tracking-health state machine. Feed each frame through
+ * checkInput() (+ noteRejected() when the caller skips it), advise(),
+ * and assess(), in order. Not thread-safe: frame-loop only.
+ */
+class HealthMonitor
+{
+  public:
+    explicit HealthMonitor(const HealthConfig &config = {});
+
+    const HealthConfig &config() const { return config_; }
+    HealthState state() const { return state_; }
+    /** Frames since the monitor last reported Ok (0 when Ok). */
+    u32 framesSinceHealthy() const { return framesSinceHealthy_; }
+    /** Completed recovery episodes (transitions back to Ok). */
+    size_t recoveries() const { return recoveries_; }
+    size_t rejectedInputs() const { return rejectedInputs_; }
+    size_t heldPoses() const { return heldPoses_; }
+
+    /** Validate the next frame's input before tracking. */
+    InputCheck checkInput(const data::Frame &frame);
+
+    /** Record that the caller skipped a rejected frame (escalates the
+     *  recovery state machine exactly like a suspect frame). */
+    void noteRejected();
+
+    /** Pre-track recovery advice for the next (accepted) frame. */
+    FrameAdvice advise(u32 configured_track_iterations) const;
+
+    /** Post-track divergence assessment + state-machine step. */
+    Assessment assess(const AssessInput &in);
+
+    /** Drop all history; the state returns to Ok. */
+    void reset();
+
+  private:
+    void escalateSuspect();
+    void stepClean(Assessment &out);
+
+    HealthConfig config_;
+    HealthState state_ = HealthState::Ok;
+    u32 consecutiveSuspect_ = 0;
+    u32 consecutiveClean_ = 0;
+    u32 framesSinceHealthy_ = 0;
+    /** A forced re-anchor keyframe is pending for the next clean frame. */
+    bool needReanchor_ = false;
+    double lossEma_ = 0;
+    bool haveLossEma_ = false;
+    double lastTimestamp_ = 0;
+    bool haveTimestamp_ = false;
+    size_t recoveries_ = 0;
+    size_t rejectedInputs_ = 0;
+    size_t heldPoses_ = 0;
+};
+
+} // namespace rtgs::slam
+
+#endif // RTGS_SLAM_HEALTH_MONITOR_HH

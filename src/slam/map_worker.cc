@@ -6,9 +6,12 @@
 namespace rtgs::slam
 {
 
-MapWorker::MapWorker(size_t queue_depth, size_t batch_size, RunFn run)
+MapWorker::MapWorker(size_t queue_depth, size_t batch_size, RunFn run,
+                     OverflowPolicy policy, double watchdog_seconds,
+                     DropFn on_drop)
     : queue_(queue_depth), batchSize_(batch_size == 0 ? 1 : batch_size),
-      run_(std::move(run))
+      run_(std::move(run)), policy_(policy),
+      watchdogSeconds_(watchdog_seconds), onDrop_(std::move(on_drop))
 {
 }
 
@@ -28,9 +31,46 @@ MapWorker::enqueue(MapJob job)
         std::lock_guard<std::mutex> lock(statusMutex_);
         ++submitted_;
     }
-    // Blocks while `queue_depth` jobs are pending: the frame loop can
-    // run at most that many keyframes ahead of the map.
-    queue_.push(std::move(job));
+    bool pushed = false;
+    if (policy_ == OverflowPolicy::Block) {
+        if (watchdogSeconds_ > 0) {
+            // Watchdog-bounded backpressure: a drainer wedged longer
+            // than the timeout degrades this push to drop-oldest
+            // instead of wedging the frame loop with it.
+            pushed = queue_.tryPushFor(
+                job, std::chrono::duration<double>(watchdogSeconds_));
+            if (!pushed) {
+                {
+                    std::lock_guard<std::mutex> lock(statusMutex_);
+                    ++watchdogTrips_;
+                }
+                warn("map queue watchdog tripped after %.1fs; evicting "
+                     "the oldest queued job",
+                     watchdogSeconds_);
+            }
+        } else {
+            // Blocks while `queue_depth` jobs are pending: the frame
+            // loop can run at most that many keyframes ahead of the
+            // map.
+            queue_.push(std::move(job));
+            pushed = true;
+        }
+    }
+    if (!pushed) {
+        std::optional<MapJob> evicted;
+        queue_.pushEvictingOldest(std::move(job), evicted);
+        if (evicted) {
+            if (onDrop_)
+                onDrop_(*evicted);
+            std::lock_guard<std::mutex> lock(statusMutex_);
+            ++droppedJobs_;
+            // The evicted job is counted in submitted_ but will never
+            // reach the drainer; balance the ledger here so drain()
+            // still terminates.
+            ++completed_;
+            statusCv_.notify_all();
+        }
+    }
     bool spawn = false;
     {
         std::lock_guard<std::mutex> lock(statusMutex_);
@@ -91,6 +131,20 @@ MapWorker::drainLoop()
             completed_ += batch.size();
         }
     }
+}
+
+size_t
+MapWorker::droppedJobs() const
+{
+    std::lock_guard<std::mutex> lock(statusMutex_);
+    return droppedJobs_;
+}
+
+size_t
+MapWorker::watchdogTrips() const
+{
+    std::lock_guard<std::mutex> lock(statusMutex_);
+    return watchdogTrips_;
 }
 
 void

@@ -7,8 +7,10 @@
  *
  * Threading model:
  *  - The frame loop (producer) pushes one MapJob per keyframe; when
- *    `queue_depth` jobs are already pending, push blocks — bounded
- *    staleness backpressure.
+ *    `queue_depth` jobs are already pending the overflow policy
+ *    decides: Block (bounded-staleness backpressure, the default,
+ *    optionally watchdog-bounded) or DropOldest (shed the stalest
+ *    queued keyframe, with accounting).
  *  - At most ONE drain task exists at a time: it loops, popping up to
  *    `batch_size` queued jobs per iteration and running them as one
  *    batch, until the queue is empty, then retires. A push that finds
@@ -53,31 +55,70 @@ struct MapJob
     size_t reportIndex = 0;     //!< row in SlamSystem::reports_ to fill
 };
 
+/**
+ * What enqueue() does when the bounded queue is full.
+ *
+ *  - Block: wait for the drainer (bounded-staleness backpressure; the
+ *    historical behaviour and the default).
+ *  - DropOldest: evict the oldest queued job to make room. The evicted
+ *    job never runs; it is accounted (droppedJobs()) and reported to
+ *    the owner through the on-drop callback, so a flooded queue sheds
+ *    stale keyframes instead of stalling the frame loop.
+ */
+enum class OverflowPolicy
+{
+    Block,
+    DropOldest
+};
+
 /** Bounded asynchronous batch executor for keyframe mapping jobs. */
 class MapWorker
 {
   public:
     /** Executes one FIFO batch of jobs (called on a pool worker). */
     using RunFn = std::function<void(std::vector<MapJob> &batch)>;
+    /** Observes a job evicted under the DropOldest policy (called on
+     *  the producer thread, before enqueue() returns). */
+    using DropFn = std::function<void(MapJob &dropped)>;
 
     /**
-     * @param queue_depth max pending jobs before enqueue() blocks (>= 1)
+     * @param queue_depth max pending jobs before the overflow policy
+     *                    engages (>= 1)
      * @param batch_size  max jobs popped per drain iteration (>= 1)
      * @param run         executes one batch (called on a pool worker)
+     * @param policy      what a full queue does to enqueue()
+     * @param watchdog_seconds with the Block policy, how long a push
+     *                    may stall before the watchdog trips and the
+     *                    push falls back to evicting the oldest job
+     *                    (degrade instead of wedge); <= 0 disables
+     * @param on_drop     invoked for every evicted job
      */
-    MapWorker(size_t queue_depth, size_t batch_size, RunFn run);
+    MapWorker(size_t queue_depth, size_t batch_size, RunFn run,
+              OverflowPolicy policy = OverflowPolicy::Block,
+              double watchdog_seconds = 0, DropFn on_drop = nullptr);
     ~MapWorker();
 
     MapWorker(const MapWorker &) = delete;
     MapWorker &operator=(const MapWorker &) = delete;
 
-    /** Submit a job; blocks while the queue is at capacity. */
+    /**
+     * Submit a job. With the Block policy this blocks while the queue
+     * is at capacity (up to the watchdog timeout when one is set);
+     * with DropOldest it never blocks.
+     */
     void enqueue(MapJob job);
 
-    /** Wait until all jobs submitted so far have completed. */
+    /** Wait until all jobs submitted so far have completed (dropped
+     *  jobs count as completed — they will never run). */
     void drain();
 
     size_t batchSize() const { return batchSize_; }
+
+    /** Jobs evicted without running (DropOldest / watchdog fallback). */
+    size_t droppedJobs() const;
+
+    /** Times the Block-policy watchdog expired on a stalled push. */
+    size_t watchdogTrips() const;
 
   private:
     void drainLoop();
@@ -85,11 +126,16 @@ class MapWorker
     BoundedQueue<MapJob> queue_;
     size_t batchSize_;
     RunFn run_;
+    OverflowPolicy policy_;
+    double watchdogSeconds_;
+    DropFn onDrop_;
 
     mutable std::mutex statusMutex_;
     std::condition_variable statusCv_;
     size_t submitted_ = 0;
     size_t completed_ = 0;
+    size_t droppedJobs_ = 0;
+    size_t watchdogTrips_ = 0;
     /** True while a drain task is live on the pool (at most one). */
     bool drainerActive_ = false;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "image/metrics.hh"
 
 namespace rtgs::slam
 {
@@ -128,10 +129,22 @@ SlamSystem::SlamSystem(const SlamConfig &config,
     }
 
     if (config.mapQueueDepth > 0) {
+        // Evicted jobs never run; mark their report rows so drops are
+        // accounted instead of silently reading as unmapped keyframes.
+        MapWorker::DropFn on_drop = [this](MapJob &job) {
+            std::lock_guard<std::mutex> lock(reportMutex_);
+            rtgs_assert(job.reportIndex < reports_.size());
+            reports_[job.reportIndex].mapJobDropped = true;
+        };
         mapWorker_ = std::make_unique<MapWorker>(
             config.mapQueueDepth, std::max<u32>(1, config.mapBatchSize),
-            [this](std::vector<MapJob> &jobs) { runMapBatch(jobs); });
+            [this](std::vector<MapJob> &jobs) { runMapBatch(jobs); },
+            config.mapOverflowPolicy, config.mapWatchdogSeconds,
+            std::move(on_drop));
     }
+
+    if (config.health.enabled)
+        health_ = std::make_unique<HealthMonitor>(config.health);
 }
 
 void
@@ -446,7 +459,8 @@ SlamSystem::predictKeyframe(const data::Frame &frame) const
 
 SE3
 SlamSystem::stageTrack(const data::Frame &frame, Real tracking_scale,
-                       const FrameBudget *budget, FrameReport &report)
+                       const FrameBudget *budget, FrameReport &report,
+                       bool ignore_depth)
 {
     if (!bootstrapped_) {
         // Frame 0 anchors the world frame (standard SLAM convention).
@@ -466,6 +480,10 @@ SlamSystem::stageTrack(const data::Frame &frame, Real tracking_scale,
         PreprocessedObservation obs =
             preprocessObservation(frame, intrinsics_, tracking_scale);
         u32 track_budget = budget ? budget->trackIterations : 0;
+        bool allow_exceed = budget && budget->allowExceed;
+        // Health-detected depth dropout: track RGB-only rather than
+        // against a blanked sensor.
+        const ImageF *depth = ignore_depth ? nullptr : &obs.depth();
         TrackResult tr;
         if (mapWorker_) {
             // Async mode: render against a copy-on-write clone of the
@@ -476,12 +494,12 @@ SlamSystem::stageTrack(const data::Frame &frame, Real tracking_scale,
             // would the authoritative cloud in sync mode.
             refreshTrackingClone(frame, report);
             tr = tracker_.track(pipeline_, trackCloud_, obs.intr, guess,
-                                obs.rgb(), &obs.depth(), trackHook_,
-                                track_budget);
+                                obs.rgb(), depth, trackHook_,
+                                track_budget, allow_exceed);
         } else {
             tr = tracker_.track(pipeline_, cloud_, obs.intr, guess,
-                                obs.rgb(), &obs.depth(), trackHook_,
-                                track_budget);
+                                obs.rgb(), depth, trackHook_,
+                                track_budget, allow_exceed);
         }
         pose = tr.pose;
         report.trackLoss = tr.finalLoss;
@@ -720,33 +738,9 @@ SlamSystem::refreshTrackingClone(const data::Frame &frame,
             : 0;
 }
 
-FrameReport
-SlamSystem::processFrame(const data::Frame &frame, Real tracking_scale,
-                         const bool *force_keyframe,
-                         const FrameBudget *budget)
+void
+SlamSystem::fillMapFootprint(FrameReport &report)
 {
-    rtgs_assert(tracking_scale > 0 && tracking_scale <= 1);
-    FrameReport report;
-    report.frameIndex = frame.index;
-    if (budget) {
-        report.trackIterationBudget = budget->trackIterations;
-        report.mapIterationBudget = budget->mapIterations;
-    }
-
-    SE3 pose = stageTrack(frame, tracking_scale, budget, report);
-    trajectory_.push_back(pose);
-
-    report.isKeyframe = stageKeyframeDecision(frame, pose, force_keyframe);
-    report.pose = pose;
-
-    bool async_map = report.isKeyframe && mapWorker_ != nullptr;
-    if (report.isKeyframe && !async_map)
-        stageMapSync(frame, pose, budget, report);
-    report.mappedAsync = async_map;
-
-    prevDepth_ = frame.depth;
-    prevPose_ = pose;
-
     if (!mapWorker_) {
         report.gaussianCount = cloud_.size();
         report.gaussianBytes = cloud_.parameterBytes();
@@ -768,6 +762,168 @@ SlamSystem::processFrame(const data::Frame &frame, Real tracking_scale,
             report.gaussianBytes = snap->cloud.parameterBytes();
         }
     }
+}
+
+FrameReport
+SlamSystem::rejectFrame(FrameReport &report)
+{
+    // The frame never reaches tracking: hold the constant-velocity
+    // prediction so the trajectory stays aligned with the stream, and
+    // leave the previous-frame tracking state (prevDepth_/prevPose_)
+    // untouched so the next accepted frame associates against trusted
+    // data.
+    report.inputRejected = true;
+    report.poseHeld = bootstrapped_;
+    SE3 pose = bootstrapped_ ? constantVelocityGuess() : SE3::identity();
+    report.pose = pose;
+    report.healthState = health_->state();
+    report.framesSinceHealthy = health_->framesSinceHealthy();
+    trajectory_.push_back(pose);
+    fillMapFootprint(report);
+    std::lock_guard<std::mutex> lock(reportMutex_);
+    reports_.push_back(report);
+    return report;
+}
+
+double
+SlamSystem::probePsnr(const data::Frame &frame, const SE3 &pose)
+{
+    // Pick a readable map without touching stateMutex_ (an in-flight
+    // async batch may hold it for seconds): the frame loop's tracking
+    // clone when it exists, else the newest published snapshot (the
+    // geometric backend never clones), else the authoritative cloud in
+    // sync mode, where the frame loop is the only mutator.
+    std::shared_ptr<const TrackingSnapshot> snap;
+    const gs::GaussianCloud *cloud = &cloud_;
+    if (mapWorker_) {
+        if (!trackCloud_.empty()) {
+            cloud = &trackCloud_;
+        } else {
+            {
+                std::lock_guard<std::mutex> lock(snapshotMutex_);
+                snap = trackingSnapshot_;
+            }
+            if (!snap)
+                return -1;
+            cloud = &snap->cloud;
+        }
+    }
+    if (cloud->empty())
+        return -1;
+
+    Real scale = std::min(
+        Real(1),
+        static_cast<Real>(config_.health.probeWidth) /
+            static_cast<Real>(std::max<u32>(1, frame.rgb.width())));
+    PreprocessedObservation obs =
+        preprocessObservation(frame, intrinsics_, scale);
+    Camera cam(obs.intr, pose);
+    gs::ForwardContext ctx = pipeline_.forward(*cloud, cam);
+    double db = psnr(ctx.result.image, obs.rgb());
+    return std::isfinite(db) ? db : 99.0; // identical probes: cap
+}
+
+FrameReport
+SlamSystem::processFrame(const data::Frame &frame, Real tracking_scale,
+                         const bool *force_keyframe,
+                         const FrameBudget *budget)
+{
+    rtgs_assert(tracking_scale > 0 && tracking_scale <= 1);
+    FrameReport report;
+    report.frameIndex = frame.index;
+    if (budget) {
+        report.trackIterationBudget = budget->trackIterations;
+        report.mapIterationBudget = budget->mapIterations;
+    }
+
+    // --- tracking-health: input validation + recovery boost. With the
+    // monitor disabled (the default) all the health blocks are inert
+    // and the frame takes exactly the historical path.
+    bool ignore_depth = false;
+    bool was_bootstrapped = bootstrapped_;
+    FrameBudget boosted;
+    if (health_) {
+        InputCheck check = health_->checkInput(frame);
+        report.inputNan = check.nanPixels;
+        report.inputBadTimestamp = check.badTimestamp;
+        report.depthIgnored = check.depthInvalid;
+        if (check.reject) {
+            health_->noteRejected();
+            return rejectFrame(report);
+        }
+        ignore_depth = check.depthInvalid;
+        FrameAdvice advice = health_->advise(config_.tracker.iterations);
+        if (advice.boostBudget && was_bootstrapped) {
+            // Recovery boost overrides the caller's (similarity-gate)
+            // budget: a health-flagged frame is never also gated down.
+            boosted.trackIterations = advice.trackIterations;
+            boosted.allowExceed = true;
+            budget = &boosted;
+            report.budgetBoosted = true;
+            report.trackIterationBudget = boosted.trackIterations;
+            report.mapIterationBudget = 0;
+        }
+    }
+
+    SE3 guess;
+    if (health_ && was_bootstrapped)
+        guess = constantVelocityGuess();
+
+    SE3 pose =
+        stageTrack(frame, tracking_scale, budget, report, ignore_depth);
+
+    // --- tracking-health: divergence assessment sits between the
+    // track stage and the keyframe decision.
+    bool kf_override_value = false;
+    const bool *kf_override = force_keyframe;
+    if (health_ && was_bootstrapped) {
+        AssessInput in;
+        in.trackLoss = report.trackLoss;
+        in.haveLoss = config_.algorithm != BaseAlgorithm::PhotoSlam;
+        in.trackedPose = pose;
+        in.predictedPose = guess;
+        if (config_.health.probeConfirm) {
+            in.probePsnr = [this, &frame, &pose] {
+                return probePsnr(frame, pose);
+            };
+        }
+        Assessment verdict = health_->assess(in);
+        report.probePsnrDb = verdict.probePsnrDb;
+        report.healthState = verdict.state;
+        report.framesSinceHealthy = health_->framesSinceHealthy();
+        if (verdict.holdPose) {
+            pose = guess;
+            report.poseHeld = true;
+        }
+        // Health overrides the caller's keyframe request: a suspect
+        // frame must never anchor the map, and the recovery re-anchor
+        // must happen even where the policy would decline.
+        if (verdict.suppressKeyframe) {
+            kf_override_value = false;
+            kf_override = &kf_override_value;
+        } else if (verdict.forceKeyframe) {
+            kf_override_value = true;
+            kf_override = &kf_override_value;
+            report.forcedRecoveryKeyframe = true;
+        }
+    }
+
+    trajectory_.push_back(pose);
+
+    report.isKeyframe = stageKeyframeDecision(frame, pose, kf_override);
+    report.pose = pose;
+
+    bool async_map = report.isKeyframe && mapWorker_ != nullptr;
+    if (report.isKeyframe && !async_map)
+        stageMapSync(frame, pose, budget, report);
+    report.mappedAsync = async_map;
+
+    if (!report.poseHeld) {
+        prevDepth_ = frame.depth;
+        prevPose_ = pose;
+    }
+
+    fillMapFootprint(report);
 
     size_t report_index;
     {

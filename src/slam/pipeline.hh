@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "data/dataset.hh"
+#include "slam/health_monitor.hh"
 #include "slam/keyframe.hh"
 #include "slam/map_worker.hh"
 #include "slam/mapper.hh"
@@ -97,6 +98,30 @@ struct SlamConfig
      */
     u32 multiViewWindow = 0;
 
+    /**
+     * What a full async map queue does to the enqueue-map stage:
+     * Block (bounded-staleness backpressure, the default) or DropOldest
+     * (shed the stalest queued keyframe; the drop is accounted in that
+     * keyframe's FrameReport row). Ignored in sync mode.
+     */
+    OverflowPolicy mapOverflowPolicy = OverflowPolicy::Block;
+
+    /**
+     * With the Block policy, how long (seconds) an enqueue-map push may
+     * stall on a full queue before the watchdog trips and that push
+     * degrades to evicting the oldest job instead of wedging the frame
+     * loop. <= 0 (the default) blocks indefinitely.
+     */
+    double mapWatchdogSeconds = 0;
+
+    /**
+     * Tracking-health monitoring (input validation, divergence
+     * detection, escalating recovery). Disabled by default; on a
+     * fault-free stream an enabled monitor never intervenes, so the
+     * output stays byte-identical either way.
+     */
+    HealthConfig health;
+
     /** Build the per-profile default configuration. */
     static SlamConfig forAlgorithm(BaseAlgorithm algo);
 };
@@ -104,12 +129,15 @@ struct SlamConfig
 /**
  * Per-frame iteration budgets, produced by the similarity gate
  * (core::SimilarityGate). 0 means "use the configured count"; non-zero
- * values only ever lower the configured count, never raise it.
+ * values only ever lower the configured count — unless `allowExceed`
+ * is set (the health monitor's recovery boost), in which case a
+ * non-zero tracking budget may raise it.
  */
 struct FrameBudget
 {
     u32 trackIterations = 0;
     u32 mapIterations = 0;
+    bool allowExceed = false;
 };
 
 /** Per-frame outcome report. */
@@ -156,6 +184,32 @@ struct FrameReport
      *  (1 on the sequential path, up to multiViewWindow once the
      *  keyframe window has filled; 0 on non-keyframe rows). */
     u32 mapMultiViews = 0;
+
+    // Tracking-health / robustness observability (all neutral unless
+    // config.health.enabled or an overflow policy intervened).
+    HealthState healthState = HealthState::Ok;
+    /** Frames since the monitor last reported Ok (0 when Ok). */
+    u32 framesSinceHealthy = 0;
+    /** Input validation rejected this frame; tracking was skipped and
+     *  the constant-velocity pose held. */
+    bool inputRejected = false;
+    bool inputNan = false;          //!< non-finite rgb/depth pixels
+    bool inputBadTimestamp = false; //!< duplicate/regressed timestamp
+    /** Depth was mostly invalid; the frame tracked RGB-only. */
+    bool depthIgnored = false;
+    /** Divergence detected: the tracked pose was discarded and the
+     *  constant-velocity prediction kept instead. */
+    bool poseHeld = false;
+    /** Recovery boost: tracking ran MORE than the configured
+     *  iterations this frame. */
+    bool budgetBoosted = false;
+    /** This keyframe was forced by the recovery re-anchor. */
+    bool forcedRecoveryKeyframe = false;
+    /** Probe PSNR (dB) when the divergence probe ran; -1 otherwise. */
+    double probePsnrDb = -1;
+    /** This keyframe's async map job was evicted by the overflow
+     *  policy and never mapped (mapLoss/densified stay zero). */
+    bool mapJobDropped = false;
 };
 
 /**
@@ -242,6 +296,23 @@ class SlamSystem
 
     /** True when keyframe mapping runs asynchronously. */
     bool asyncMapping() const { return mapWorker_ != nullptr; }
+
+    /** The tracking-health monitor; null unless config.health.enabled. */
+    const HealthMonitor *healthMonitor() const { return health_.get(); }
+
+    /** Async map jobs evicted by the overflow policy (0 in sync mode). */
+    size_t
+    mapJobsDropped() const
+    {
+        return mapWorker_ ? mapWorker_->droppedJobs() : 0;
+    }
+
+    /** Times the map-queue watchdog tripped (0 in sync mode). */
+    size_t
+    mapWatchdogTrips() const
+    {
+        return mapWorker_ ? mapWorker_->watchdogTrips() : 0;
+    }
 
     /**
      * The cloud tracking renders against: the authoritative map in sync
@@ -336,9 +407,23 @@ class SlamSystem
     SE3 geometricTrack(const data::Frame &frame, const SE3 &init) const;
 
     // ------------------------------------------------- frame stages
-    /** Preprocess + track: returns the frame's pose estimate. */
+    /** Preprocess + track: returns the frame's pose estimate.
+     *  `ignore_depth` tracks RGB-only (health-detected depth dropout). */
     SE3 stageTrack(const data::Frame &frame, Real tracking_scale,
-                   const FrameBudget *budget, FrameReport &report);
+                   const FrameBudget *budget, FrameReport &report,
+                   bool ignore_depth = false);
+
+    /** Health path: skip a rejected frame — hold the constant-velocity
+     *  pose, no keyframe, prev-frame tracking state untouched. */
+    FrameReport rejectFrame(FrameReport &report);
+
+    /** Divergence probe: PSNR (dB) of a downsampled render of the
+     *  tracking cloud at `pose` vs the observation; negative when no
+     *  map is available. Never takes stateMutex_ (async-safe). */
+    double probePsnr(const data::Frame &frame, const SE3 &pose);
+
+    /** Published-map footprint fields for a non-mapping frame row. */
+    void fillMapFootprint(FrameReport &report);
 
     /** Keyframe decision from the tracked pose / policy override. */
     bool stageKeyframeDecision(const data::Frame &frame, const SE3 &pose,
@@ -412,6 +497,8 @@ class SlamSystem
     ImageF prevDepth_;
     SE3 prevPose_;
     bool bootstrapped_ = false;
+    /** Tracking-health monitor; null unless config.health.enabled. */
+    std::unique_ptr<HealthMonitor> health_;
 
     /** Guards cloud_, mapper_, peakBytes_, mapGeneration_ against the
      *  async map stage. */

@@ -13,11 +13,13 @@ Tracker::track(const gs::RenderPipeline &pipeline,
                const gs::GaussianCloud &cloud, const Intrinsics &intr,
                const SE3 &init_pose, const ImageRGB &rgb,
                const ImageF *depth, const TrackIterationHook &hook,
-               u32 iteration_budget) const
+               u32 iteration_budget, bool allow_exceed) const
 {
     u32 max_iters = config_.iterations;
-    if (iteration_budget > 0)
-        max_iters = std::min(max_iters, iteration_budget);
+    if (iteration_budget > 0) {
+        max_iters = allow_exceed ? iteration_budget
+                                 : std::min(max_iters, iteration_budget);
+    }
 
     TrackResult result;
     result.lossHistory.reserve(max_iters);

@@ -85,14 +85,19 @@ class Tracker
      * @param hook       optional per-iteration observer
      * @param iteration_budget cap on iterations for this frame (the
      *        similarity gate's scaled budget); 0 keeps the configured
-     *        count. Never raises it above the configuration.
+     *        count. Never raises it above the configuration unless
+     *        `allow_exceed` is set.
+     * @param allow_exceed let a non-zero budget RAISE the iteration
+     *        count above the configuration (the health monitor's
+     *        recovery boost — the inverse of the similarity gate)
      */
     TrackResult track(const gs::RenderPipeline &pipeline,
                       const gs::GaussianCloud &cloud,
                       const Intrinsics &intr, const SE3 &init_pose,
                       const ImageRGB &rgb, const ImageF *depth,
                       const TrackIterationHook &hook = nullptr,
-                      u32 iteration_budget = 0) const;
+                      u32 iteration_budget = 0,
+                      bool allow_exceed = false) const;
 
   private:
     TrackerConfig config_;

@@ -402,6 +402,147 @@ TEST(AsyncSlam, FrameBudgetCapsTrackingIterations)
     EXPECT_EQ(r2.trackIterationBudget, 0u);
 }
 
+TEST(MapWorkerTest, DropOldestEvictsStaleJobsWithAccounting)
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    std::vector<u32> ran;
+    std::vector<u32> dropped;
+
+    MapWorker worker(
+        /*queue_depth=*/2, /*batch_size=*/1,
+        [&](std::vector<MapJob> &batch) {
+            std::unique_lock<std::mutex> lock(m);
+            for (const MapJob &j : batch)
+                ran.push_back(j.record.frameIndex);
+            cv.notify_all();
+            cv.wait(lock, [&] { return release; });
+        },
+        OverflowPolicy::DropOldest, /*watchdog_seconds=*/0,
+        [&](MapJob &job) { dropped.push_back(job.record.frameIndex); });
+
+    auto make_job = [](u32 frame) {
+        MapJob job;
+        job.record.frameIndex = frame;
+        return job;
+    };
+    worker.enqueue(make_job(0)); // popped by the (gated) drainer
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return ran.size() == 1; });
+    }
+    worker.enqueue(make_job(1)); // queue: {1}
+    worker.enqueue(make_job(2)); // queue: {1, 2} — at capacity
+    worker.enqueue(make_job(3)); // evicts 1 → queue: {2, 3}
+    worker.enqueue(make_job(4)); // evicts 2 → queue: {3, 4}
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    worker.drain(); // terminates despite the evicted jobs
+
+    EXPECT_EQ(ran, (std::vector<u32>{0, 3, 4}))
+        << "survivors keep FIFO order; stale jobs are gone";
+    EXPECT_EQ(dropped, (std::vector<u32>{1, 2}))
+        << "the on-drop callback sees exactly the evicted jobs";
+    EXPECT_EQ(worker.droppedJobs(), 2u);
+    EXPECT_EQ(worker.watchdogTrips(), 0u);
+}
+
+TEST(MapWorkerTest, WatchdogUnwedgesBlockedProducer)
+{
+    // Block policy with a watchdog: a producer facing a wedged drainer
+    // waits at most watchdog_seconds, then degrades to drop-oldest
+    // instead of deadlocking the frame loop.
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    std::vector<u32> ran;
+    std::vector<u32> dropped;
+
+    MapWorker worker(
+        /*queue_depth=*/1, /*batch_size=*/1,
+        [&](std::vector<MapJob> &batch) {
+            std::unique_lock<std::mutex> lock(m);
+            for (const MapJob &j : batch)
+                ran.push_back(j.record.frameIndex);
+            cv.notify_all();
+            cv.wait(lock, [&] { return release; }); // wedged until release
+        },
+        OverflowPolicy::Block, /*watchdog_seconds=*/0.05,
+        [&](MapJob &job) { dropped.push_back(job.record.frameIndex); });
+
+    auto make_job = [](u32 frame) {
+        MapJob job;
+        job.record.frameIndex = frame;
+        return job;
+    };
+    worker.enqueue(make_job(0)); // popped by the wedged drainer
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return ran.size() == 1; });
+    }
+    worker.enqueue(make_job(1)); // fills the queue
+    auto t0 = std::chrono::steady_clock::now();
+    worker.enqueue(make_job(2)); // watchdog trips, evicts 1
+    auto waited = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(waited, std::chrono::milliseconds(40))
+        << "the producer must honor the watchdog window first";
+    EXPECT_LT(waited, std::chrono::seconds(30))
+        << "the producer must not block indefinitely";
+
+    EXPECT_EQ(worker.watchdogTrips(), 1u);
+    EXPECT_EQ(worker.droppedJobs(), 1u);
+    EXPECT_EQ(dropped, (std::vector<u32>{1}));
+
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    worker.drain();
+    EXPECT_EQ(ran, (std::vector<u32>{0, 2}));
+}
+
+TEST(AsyncSlam, DropOldestPolicyCompletesFloodedRunWithAccounting)
+{
+    // Flood the map queue: every-frame mapping (SplaTAM-like) with a
+    // deliberately slow mapper, a depth-1 queue, and no draining
+    // between frames. Under DropOldest the run must complete without
+    // the frame loop ever wedging, and every dropped job must be
+    // visible both in the aggregate counter and on its report row.
+    auto &ds = tinyDataset();
+    SlamConfig cfg = fastConfig(BaseAlgorithm::SplaTam);
+    cfg.tracker.iterations = 1;
+    cfg.mapper.iterations = 60;
+    cfg.mapQueueDepth = 1;
+    cfg.mapOverflowPolicy = OverflowPolicy::DropOldest;
+    SlamSystem system(cfg, ds.intrinsics());
+    for (u32 f = 0; f < ds.frameCount(); ++f)
+        system.processFrame(ds.frame(f));
+    system.waitForMapping();
+
+    ASSERT_EQ(system.trajectory().size(), ds.frameCount());
+    EXPECT_GT(system.mapJobsDropped(), 0u)
+        << "a depth-1 queue against a slow mapper must overflow";
+    EXPECT_EQ(system.mapWatchdogTrips(), 0u);
+
+    size_t flagged = 0;
+    for (const auto &r : system.reports()) {
+        if (!r.mapJobDropped)
+            continue;
+        ++flagged;
+        EXPECT_TRUE(r.mappedAsync) << "frame " << r.frameIndex;
+        EXPECT_EQ(r.mapLoss, 0.0)
+            << "frame " << r.frameIndex
+            << ": a dropped job must never report map results";
+    }
+    EXPECT_EQ(flagged, system.mapJobsDropped())
+        << "per-row drop flags must agree with the aggregate counter";
+}
+
 TEST(AsyncSlam, BudgetNeverRaisesConfiguredIterations)
 {
     auto &ds = tinyDataset();

@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <optional>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -328,6 +331,73 @@ TEST(BoundedQueue, PushBlocksAtCapacityUntilPop)
     EXPECT_TRUE(second_pushed.load());
     EXPECT_TRUE(q.tryPop(v));
     EXPECT_EQ(v, 2);
+}
+
+TEST(BoundedQueue, TryPushFailsOnFullAndLeavesValueIntact)
+{
+    BoundedQueue<std::string> q(1);
+    std::string a = "first";
+    EXPECT_TRUE(q.tryPush(a));
+    std::string b = "second";
+    EXPECT_FALSE(q.tryPush(b));
+    EXPECT_EQ(b, "second") << "failed tryPush must not move from value";
+    std::string v;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, "first");
+    EXPECT_TRUE(q.tryPush(b));
+}
+
+TEST(BoundedQueue, TryPushForTimesOutOnWedgedConsumer)
+{
+    BoundedQueue<std::string> q(1);
+    std::string a = "first";
+    EXPECT_TRUE(q.tryPush(a));
+    std::string b = "second";
+    auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(q.tryPushFor(b, std::chrono::milliseconds(30)));
+    auto waited = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(waited, std::chrono::milliseconds(25));
+    EXPECT_EQ(b, "second") << "timeout must not move from value";
+
+    // With a consumer draining, the bounded wait succeeds instead.
+    std::thread consumer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        std::string v;
+        q.pop(v);
+    });
+    EXPECT_TRUE(q.tryPushFor(b, std::chrono::seconds(5)));
+    consumer.join();
+}
+
+TEST(BoundedQueue, PushEvictingOldestDropsFrontAtCapacity)
+{
+    BoundedQueue<int> q(2);
+    std::optional<int> evicted;
+    EXPECT_TRUE(q.pushEvictingOldest(1, evicted));
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_TRUE(q.pushEvictingOldest(2, evicted));
+    EXPECT_FALSE(evicted.has_value()) << "no eviction below capacity";
+    EXPECT_TRUE(q.pushEvictingOldest(3, evicted));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 1) << "the OLDEST item is evicted";
+    // Survivors keep FIFO order.
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 3);
+}
+
+TEST(BoundedQueue, EvictingPushFailsOnlyWhenClosed)
+{
+    BoundedQueue<int> q(1);
+    q.close();
+    std::optional<int> evicted;
+    EXPECT_FALSE(q.pushEvictingOldest(1, evicted));
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_EQ(q.size(), 0u);
+    int v = 0;
+    EXPECT_FALSE(q.tryPush(v)) << "tryPush also refuses a closed queue";
 }
 
 TEST(BoundedQueue, CloseWakesProducerAndDrainsConsumer)

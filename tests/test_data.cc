@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "data/dataset.hh"
 #include "image/metrics.hh"
@@ -232,6 +233,98 @@ TEST_F(DatasetFixture, GtPosesMatchTrajectory)
     const Frame &f = dataset().frame(2);
     EXPECT_NEAR(
         SE3::translationDistance(f.gtPose, dataset().gtPose(2)), 0, 1e-6);
+}
+
+TEST_F(DatasetFixture, FrameTimestampsFollowFps)
+{
+    double dt = 1.0 / dataset().spec().fps;
+    double prev = -1;
+    for (u32 f = 0; f < dataset().frameCount(); ++f) {
+        double ts = dataset().timestamp(f);
+        EXPECT_NEAR(ts, f * dt, 1e-9);
+        EXPECT_EQ(dataset().frame(f).timestamp, ts);
+        EXPECT_GT(ts, prev) << "timestamps must strictly advance";
+        prev = ts;
+    }
+}
+
+namespace
+{
+
+std::vector<SE3>
+cleanPoses(size_t n)
+{
+    std::vector<SE3> poses(n, SE3::identity());
+    for (size_t i = 0; i < n; ++i)
+        poses[i].trans.x = Real(0.1) * static_cast<Real>(i);
+    return poses;
+}
+
+std::vector<double>
+cleanTimestamps(size_t n)
+{
+    std::vector<double> ts(n);
+    for (size_t i = 0; i < n; ++i)
+        ts[i] = static_cast<double>(i) / 30.0;
+    return ts;
+}
+
+} // namespace
+
+TEST(SanitizeTrajectoryStream, CleanStreamIsUntouched)
+{
+    std::vector<SE3> poses = cleanPoses(5);
+    std::vector<double> ts = cleanTimestamps(5);
+    EXPECT_EQ(sanitizeTrajectoryStream(poses, ts), 0u);
+    EXPECT_EQ(poses.size(), 5u);
+    EXPECT_EQ(ts.size(), 5u);
+    EXPECT_EQ(poses[4].trans.x, Real(0.4));
+}
+
+TEST(SanitizeTrajectoryStream, RejectsNonFinitePoses)
+{
+    std::vector<SE3> poses = cleanPoses(5);
+    std::vector<double> ts = cleanTimestamps(5);
+    poses[1].trans.y = std::numeric_limits<Real>::quiet_NaN();
+    poses[3].rot.m[1][1] = std::numeric_limits<Real>::infinity();
+
+    EXPECT_EQ(sanitizeTrajectoryStream(poses, ts), 2u);
+    ASSERT_EQ(poses.size(), 3u);
+    ASSERT_EQ(ts.size(), 3u);
+    // Survivors keep their order and their pose<->timestamp pairing.
+    EXPECT_EQ(poses[0].trans.x, Real(0.0));
+    EXPECT_EQ(poses[1].trans.x, Real(0.2));
+    EXPECT_EQ(poses[2].trans.x, Real(0.4));
+    EXPECT_NEAR(ts[1], 2.0 / 30.0, 1e-12);
+    EXPECT_NEAR(ts[2], 4.0 / 30.0, 1e-12);
+}
+
+TEST(SanitizeTrajectoryStream, RejectsNonMonotonicTimestamps)
+{
+    std::vector<SE3> poses = cleanPoses(6);
+    std::vector<double> ts = cleanTimestamps(6);
+    ts[2] = ts[1];                                     // duplicate
+    ts[3] = ts[1] - 0.01;                              // regression
+    ts[4] = std::numeric_limits<double>::quiet_NaN(); // non-finite
+
+    EXPECT_EQ(sanitizeTrajectoryStream(poses, ts), 3u);
+    ASSERT_EQ(poses.size(), 3u);
+    EXPECT_EQ(poses[0].trans.x, Real(0.0));
+    EXPECT_EQ(poses[1].trans.x, Real(0.1));
+    EXPECT_EQ(poses[2].trans.x, Real(0.5));
+    // The kept stream is strictly monotonic.
+    for (size_t i = 1; i < ts.size(); ++i)
+        EXPECT_GT(ts[i], ts[i - 1]);
+}
+
+TEST(SanitizeTrajectoryStream, EmptyTimestampsSkipTimeChecks)
+{
+    std::vector<SE3> poses = cleanPoses(4);
+    poses[2].trans.z = std::numeric_limits<Real>::quiet_NaN();
+    std::vector<double> ts; // no timestamps: pose checks only
+    EXPECT_EQ(sanitizeTrajectoryStream(poses, ts), 1u);
+    EXPECT_EQ(poses.size(), 3u);
+    EXPECT_TRUE(ts.empty());
 }
 
 } // namespace rtgs::data

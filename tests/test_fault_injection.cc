@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the deterministic fault injector: reproducibility,
+ * independence of the fault classes, and the per-class perturbation
+ * semantics (drops, timestamp faults, corruption, exposure shifts,
+ * depth dropout) that the robustness benches build their stress
+ * scenarios from.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "data/fault_injector.hh"
+
+namespace rtgs::data
+{
+
+namespace
+{
+
+Frame
+makeFrame(u32 index, u32 w = 24, u32 h = 18)
+{
+    Frame f;
+    f.index = index;
+    f.timestamp = static_cast<double>(index) / 30.0;
+    f.rgb = ImageRGB(w, h);
+    f.depth = ImageF(w, h);
+    for (u32 y = 0; y < h; ++y) {
+        for (u32 x = 0; x < w; ++x) {
+            Real v = Real(0.2) +
+                     Real(0.6) * static_cast<Real>((x + y + index) % 7) /
+                         Real(7);
+            f.rgb.at(x, y) = {v, v, v};
+            f.depth.at(x, y) = Real(1.5) + Real(0.01) * static_cast<Real>(x);
+        }
+    }
+    return f;
+}
+
+size_t
+runAndCountDropped(const FaultSchedule &schedule, u32 frames)
+{
+    FaultInjector injector(schedule);
+    for (u32 i = 0; i < frames; ++i)
+        injector.process(makeFrame(i));
+    return injector.stats().dropped;
+}
+
+} // namespace
+
+TEST(FaultInjector, DefaultScheduleIsPassthrough)
+{
+    FaultSchedule schedule;
+    EXPECT_FALSE(schedule.anyEnabled());
+    FaultInjector injector(schedule);
+    for (u32 i = 0; i < 8; ++i) {
+        Frame src = makeFrame(i);
+        auto out = injector.process(src);
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->timestamp, src.timestamp);
+        for (size_t p = 0; p < src.rgb.pixelCount(); ++p) {
+            EXPECT_EQ(out->rgb[p].x, src.rgb[p].x);
+            EXPECT_EQ(out->depth[p], src.depth[p]);
+        }
+        const FaultRecord &rec = injector.lastRecord();
+        EXPECT_FALSE(rec.dropped || rec.corrupted || rec.exposureShifted ||
+                     rec.depthDropout || rec.duplicatedTimestamp ||
+                     rec.outOfOrderTimestamp);
+    }
+}
+
+TEST(FaultInjector, DeterministicForSeed)
+{
+    FaultSchedule schedule;
+    schedule.seed = 7;
+    schedule.dropProbability = Real(0.2);
+    schedule.corruptionProbability = Real(0.3);
+    schedule.exposureShiftProbability = Real(0.3);
+    schedule.depthDropoutProbability = Real(0.15);
+
+    FaultInjector a(schedule), b(schedule);
+    for (u32 i = 0; i < 30; ++i) {
+        auto oa = a.process(makeFrame(i));
+        auto ob = b.process(makeFrame(i));
+        ASSERT_EQ(oa.has_value(), ob.has_value()) << "frame " << i;
+        if (!oa)
+            continue;
+        for (size_t p = 0; p < oa->rgb.pixelCount(); ++p) {
+            // Bitwise equality, NaN-safe: the same schedule must
+            // perturb identically, including the NaN punches.
+            EXPECT_EQ(std::memcmp(&oa->rgb[p], &ob->rgb[p],
+                                  sizeof(Vec3f)), 0);
+        }
+        EXPECT_EQ(oa->timestamp, ob->timestamp);
+    }
+    EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+    EXPECT_EQ(a.stats().corrupted, b.stats().corrupted);
+}
+
+TEST(FaultInjector, FaultClassesDrawIndependently)
+{
+    // Enabling corruption must not change WHICH frames drop: the drop
+    // pattern is a function of (seed, frame index) alone.
+    FaultSchedule drops_only;
+    drops_only.seed = 11;
+    drops_only.dropProbability = Real(0.25);
+
+    FaultSchedule drops_and_more = drops_only;
+    drops_and_more.corruptionProbability = Real(0.5);
+    drops_and_more.exposureShiftProbability = Real(0.5);
+    drops_and_more.depthDropoutProbability = Real(0.3);
+
+    FaultInjector a(drops_only), b(drops_and_more);
+    for (u32 i = 0; i < 40; ++i) {
+        a.process(makeFrame(i));
+        b.process(makeFrame(i));
+        EXPECT_EQ(a.records()[i].dropped, b.records()[i].dropped)
+            << "frame " << i;
+    }
+}
+
+TEST(FaultInjector, DropBurstDropsExactWindow)
+{
+    FaultSchedule schedule;
+    schedule.dropBurstStart = 5;
+    schedule.dropBurstLength = 3;
+    FaultInjector injector(schedule);
+    for (u32 i = 0; i < 12; ++i) {
+        auto out = injector.process(makeFrame(i));
+        bool in_burst = i >= 5 && i < 8;
+        EXPECT_EQ(out.has_value(), !in_burst) << "frame " << i;
+        EXPECT_EQ(injector.records()[i].dropped, in_burst);
+    }
+    EXPECT_EQ(injector.stats().dropped, 3u);
+    EXPECT_EQ(injector.stats().framesDelivered, 9u);
+}
+
+TEST(FaultInjector, DropProbabilityScalesWithSetting)
+{
+    FaultSchedule low;
+    low.seed = 3;
+    low.dropProbability = Real(0.1);
+    FaultSchedule high = low;
+    high.dropProbability = Real(0.6);
+    size_t low_drops = runAndCountDropped(low, 200);
+    size_t high_drops = runAndCountDropped(high, 200);
+    EXPECT_GT(low_drops, 0u);
+    EXPECT_GT(high_drops, low_drops);
+}
+
+TEST(FaultInjector, TimestampFaultsBreakMonotonicity)
+{
+    FaultSchedule schedule;
+    schedule.seed = 5;
+    schedule.duplicateTimestampProbability = Real(0.3);
+    FaultInjector dup(schedule);
+    double prev = -1;
+    size_t dup_seen = 0;
+    for (u32 i = 0; i < 40; ++i) {
+        auto out = dup.process(makeFrame(i));
+        ASSERT_TRUE(out.has_value());
+        if (dup.lastRecord().duplicatedTimestamp) {
+            ++dup_seen;
+            EXPECT_EQ(out->timestamp, prev);
+        } else if (i > 0) {
+            EXPECT_GT(out->timestamp, prev);
+        }
+        prev = out->timestamp;
+    }
+    EXPECT_GT(dup_seen, 0u);
+
+    FaultSchedule ooo_schedule;
+    ooo_schedule.seed = 6;
+    ooo_schedule.outOfOrderProbability = Real(0.3);
+    FaultInjector ooo(ooo_schedule);
+    prev = -1;
+    size_t ooo_seen = 0;
+    for (u32 i = 0; i < 40; ++i) {
+        auto out = ooo.process(makeFrame(i));
+        ASSERT_TRUE(out.has_value());
+        if (ooo.lastRecord().outOfOrderTimestamp) {
+            ++ooo_seen;
+            EXPECT_LT(out->timestamp, prev)
+                << "out-of-order delivery must regress the timestamp";
+        }
+        prev = out->timestamp;
+    }
+    EXPECT_GT(ooo_seen, 0u);
+}
+
+TEST(FaultInjector, CorruptionZeroesReportedRectangle)
+{
+    FaultSchedule schedule;
+    schedule.seed = 9;
+    schedule.corruptionProbability = Real(1);
+    schedule.corruptionAreaFraction = Real(0.25);
+    schedule.corruptionZeroes = true;
+    FaultInjector injector(schedule);
+    Frame src = makeFrame(4);
+    auto out = injector.process(src);
+    ASSERT_TRUE(out.has_value());
+    const FaultRecord &rec = injector.lastRecord();
+    ASSERT_TRUE(rec.corrupted);
+    EXPECT_GT(rec.corruptW, 0u);
+    EXPECT_GT(rec.corruptH, 0u);
+    // Every pixel inside the reported rectangle is zeroed; everything
+    // outside is untouched.
+    for (u32 y = 0; y < src.rgb.height(); ++y) {
+        for (u32 x = 0; x < src.rgb.width(); ++x) {
+            bool inside = x >= rec.corruptX &&
+                          x < rec.corruptX + rec.corruptW &&
+                          y >= rec.corruptY &&
+                          y < rec.corruptY + rec.corruptH;
+            if (inside)
+                EXPECT_EQ(out->rgb.at(x, y).x, Real(0));
+            else
+                EXPECT_EQ(out->rgb.at(x, y).x, src.rgb.at(x, y).x);
+        }
+    }
+}
+
+TEST(FaultInjector, CorruptionNanFractionPunchesNans)
+{
+    FaultSchedule schedule;
+    schedule.seed = 10;
+    schedule.corruptionProbability = Real(1);
+    schedule.corruptionAreaFraction = Real(0.5);
+    schedule.corruptionNanFraction = Real(0.5);
+    FaultInjector injector(schedule);
+    auto out = injector.process(makeFrame(2));
+    ASSERT_TRUE(out.has_value());
+    size_t nan_rgb = 0, nan_depth = 0;
+    for (size_t p = 0; p < out->rgb.pixelCount(); ++p)
+        nan_rgb += std::isnan(out->rgb[p].x) ? 1 : 0;
+    for (size_t p = 0; p < out->depth.pixelCount(); ++p)
+        nan_depth += std::isnan(out->depth[p]) ? 1 : 0;
+    EXPECT_GT(nan_rgb, 0u);
+    EXPECT_GT(nan_depth, 0u);
+}
+
+TEST(FaultInjector, ExposureShiftStaysInUnitRange)
+{
+    FaultSchedule schedule;
+    schedule.seed = 12;
+    schedule.exposureShiftProbability = Real(1);
+    schedule.exposureGainMin = Real(1.4);
+    schedule.exposureGainMax = Real(1.6);
+    FaultInjector injector(schedule);
+    Frame src = makeFrame(1);
+    auto out = injector.process(src);
+    ASSERT_TRUE(out.has_value());
+    const FaultRecord &rec = injector.lastRecord();
+    ASSERT_TRUE(rec.exposureShifted);
+    EXPECT_GE(rec.exposureGain, schedule.exposureGainMin);
+    EXPECT_LE(rec.exposureGain, schedule.exposureGainMax);
+    double mean_src = 0, mean_out = 0;
+    for (size_t p = 0; p < src.rgb.pixelCount(); ++p) {
+        mean_src += src.rgb[p].x;
+        mean_out += out->rgb[p].x;
+        EXPECT_GE(out->rgb[p].x, Real(0));
+        EXPECT_LE(out->rgb[p].x, Real(1));
+    }
+    EXPECT_GT(mean_out, mean_src) << "gain > 1 must brighten the frame";
+    // Depth is untouched by exposure faults.
+    EXPECT_EQ(out->depth[0], src.depth[0]);
+}
+
+TEST(FaultInjector, DepthDropoutZeroesWholeDepthImage)
+{
+    FaultSchedule schedule;
+    schedule.seed = 13;
+    schedule.depthDropoutProbability = Real(1);
+    FaultInjector injector(schedule);
+    Frame src = makeFrame(3);
+    auto out = injector.process(src);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_TRUE(injector.lastRecord().depthDropout);
+    for (size_t p = 0; p < out->depth.pixelCount(); ++p)
+        EXPECT_EQ(out->depth[p], Real(0));
+    // RGB is untouched by depth dropout.
+    EXPECT_EQ(out->rgb[0].x, src.rgb[0].x);
+}
+
+TEST(FaultInjector, StatsAggregateRecords)
+{
+    FaultSchedule schedule;
+    schedule.dropBurstStart = 2;
+    schedule.dropBurstLength = 2;
+    schedule.seed = 14;
+    schedule.exposureShiftProbability = Real(1);
+    FaultInjector injector(schedule);
+    for (u32 i = 0; i < 10; ++i)
+        injector.process(makeFrame(i));
+    FaultStats stats = injector.stats();
+    EXPECT_EQ(stats.framesSeen, 10u);
+    EXPECT_EQ(stats.dropped, 2u);
+    EXPECT_EQ(stats.framesDelivered, 8u);
+    EXPECT_EQ(stats.exposureShifted, 8u);
+    EXPECT_EQ(injector.records().size(), 10u);
+}
+
+} // namespace rtgs::data

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/similarity_gate.hh"
 
 namespace rtgs::core
@@ -197,6 +200,55 @@ TEST(SimilarityGate, WorkloadSignalIgnoresResolutionSwitches)
     EXPECT_NEAR(d.workloadChange, 0.0, 1e-6)
         << "resolution switches must not read as scene change";
     EXPECT_TRUE(d.gated);
+}
+
+TEST(SimilarityGate, ExposureShiftReadsAsDynamicFrame)
+{
+    // An auto-exposure jump changes every pixel's value; the gate must
+    // release the full budget so tracking can re-fit the shifted
+    // photometry instead of skipping iterations on a "static" frame.
+    SimilarityGate gate(enabledConfig());
+    ImageRGB a = flatImage(64, 48, Real(0.4));
+    gate.evaluate(a, nullptr);
+
+    ImageRGB brightened = flatImage(64, 48, Real(0.4) * Real(1.6));
+    auto d = gate.evaluate(brightened, nullptr);
+    EXPECT_FALSE(d.gated);
+    EXPECT_EQ(d.budgetScale, Real(1));
+    EXPECT_GT(d.rmse, gate.config().rmseDynamic);
+}
+
+TEST(SimilarityGate, CorruptedProbeFailsOpen)
+{
+    // NaN pixels poison the probe RMSE/SSIM. The gate must fail OPEN:
+    // a health-flagged frame may never have its iterations skipped on
+    // the strength of a meaningless similarity score, and the decision
+    // must stay NaN-free for downstream arithmetic.
+    SimilarityGate gate(enabledConfig());
+    ImageRGB a = flatImage(64, 48, Real(0.5));
+    gate.evaluate(a, nullptr);
+
+    ImageRGB corrupted = flatImage(64, 48, Real(0.5));
+    for (u32 y = 8; y < 40; ++y)
+        for (u32 x = 8; x < 56; ++x)
+            corrupted.at(x, y).x = std::numeric_limits<Real>::quiet_NaN();
+    auto d = gate.evaluate(corrupted, nullptr);
+    EXPECT_FALSE(d.gated);
+    EXPECT_EQ(d.budgetScale, Real(1));
+    EXPECT_TRUE(std::isfinite(d.rmse));
+    EXPECT_TRUE(std::isfinite(d.ssimScore));
+    EXPECT_TRUE(std::isfinite(d.budgetScale));
+
+    // The comparison against the corrupted history probe is equally
+    // meaningless: the next clean frame must also fail open...
+    auto after = gate.evaluate(a, nullptr);
+    EXPECT_FALSE(after.gated);
+    EXPECT_TRUE(std::isfinite(after.budgetScale));
+
+    // ...and once clean history is re-established the gate recovers.
+    auto recovered = gate.evaluate(a, nullptr);
+    EXPECT_TRUE(recovered.gated) << "identical clean frames gate again";
+    EXPECT_EQ(recovered.budgetScale, gate.config().minBudgetScale);
 }
 
 } // namespace rtgs::core
