@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_scenarios.dir/bench/bench_fault_scenarios.cc.o"
+  "CMakeFiles/bench_fault_scenarios.dir/bench/bench_fault_scenarios.cc.o.d"
+  "bench_fault_scenarios"
+  "bench_fault_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_quality_tradeoff.dir/bench/bench_fig13_quality_tradeoff.cc.o"
+  "CMakeFiles/bench_fig13_quality_tradeoff.dir/bench/bench_fig13_quality_tradeoff.cc.o.d"
+  "bench_fig13_quality_tradeoff"
+  "bench_fig13_quality_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_quality_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

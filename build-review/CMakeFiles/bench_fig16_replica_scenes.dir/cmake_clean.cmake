@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_replica_scenes.dir/bench/bench_fig16_replica_scenes.cc.o"
+  "CMakeFiles/bench_fig16_replica_scenes.dir/bench/bench_fig16_replica_scenes.cc.o.d"
+  "bench_fig16_replica_scenes"
+  "bench_fig16_replica_scenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_replica_scenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

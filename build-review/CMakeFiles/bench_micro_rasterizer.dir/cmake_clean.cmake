@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_rasterizer.dir/bench/bench_micro_rasterizer.cc.o"
+  "CMakeFiles/bench_micro_rasterizer.dir/bench/bench_micro_rasterizer.cc.o.d"
+  "bench_micro_rasterizer"
+  "bench_micro_rasterizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_rasterizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_slam_baselines.dir/bench/bench_table2_slam_baselines.cc.o"
+  "CMakeFiles/bench_table2_slam_baselines.dir/bench/bench_table2_slam_baselines.cc.o.d"
+  "bench_table2_slam_baselines"
+  "bench_table2_slam_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_slam_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hw_config.dir/bench/bench_table4_hw_config.cc.o"
+  "CMakeFiles/bench_table4_hw_config.dir/bench/bench_table4_hw_config.cc.o.d"
+  "bench_table4_hw_config"
+  "bench_table4_hw_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hw_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_device_specs.dir/bench/bench_table5_device_specs.cc.o"
+  "CMakeFiles/bench_table5_device_specs.dir/bench/bench_table5_device_specs.cc.o.d"
+  "bench_table5_device_specs"
+  "bench_table5_device_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_device_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "CMakeFiles/rtgs.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/rtgs.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/rtgs.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/rtgs.dir/src/common/table.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/common/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/rtgs.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "CMakeFiles/rtgs.dir/src/core/baselines.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/core/baselines.cc.o.d"
+  "/root/repo/src/core/downsampling.cc" "CMakeFiles/rtgs.dir/src/core/downsampling.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/core/downsampling.cc.o.d"
+  "/root/repo/src/core/importance.cc" "CMakeFiles/rtgs.dir/src/core/importance.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/core/importance.cc.o.d"
+  "/root/repo/src/core/pruning.cc" "CMakeFiles/rtgs.dir/src/core/pruning.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/core/pruning.cc.o.d"
+  "/root/repo/src/core/rtgs_api.cc" "CMakeFiles/rtgs.dir/src/core/rtgs_api.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/core/rtgs_api.cc.o.d"
+  "/root/repo/src/core/rtgs_slam.cc" "CMakeFiles/rtgs.dir/src/core/rtgs_slam.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/core/rtgs_slam.cc.o.d"
+  "/root/repo/src/core/similarity_gate.cc" "CMakeFiles/rtgs.dir/src/core/similarity_gate.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/core/similarity_gate.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "CMakeFiles/rtgs.dir/src/data/dataset.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/data/dataset.cc.o.d"
+  "/root/repo/src/data/fault_injector.cc" "CMakeFiles/rtgs.dir/src/data/fault_injector.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/data/fault_injector.cc.o.d"
+  "/root/repo/src/data/scene.cc" "CMakeFiles/rtgs.dir/src/data/scene.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/data/scene.cc.o.d"
+  "/root/repo/src/data/trajectory.cc" "CMakeFiles/rtgs.dir/src/data/trajectory.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/data/trajectory.cc.o.d"
+  "/root/repo/src/geometry/camera.cc" "CMakeFiles/rtgs.dir/src/geometry/camera.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/geometry/camera.cc.o.d"
+  "/root/repo/src/geometry/quat.cc" "CMakeFiles/rtgs.dir/src/geometry/quat.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/geometry/quat.cc.o.d"
+  "/root/repo/src/geometry/se3.cc" "CMakeFiles/rtgs.dir/src/geometry/se3.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/geometry/se3.cc.o.d"
+  "/root/repo/src/gs/backward.cc" "CMakeFiles/rtgs.dir/src/gs/backward.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/gs/backward.cc.o.d"
+  "/root/repo/src/gs/gaussian.cc" "CMakeFiles/rtgs.dir/src/gs/gaussian.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/gs/gaussian.cc.o.d"
+  "/root/repo/src/gs/projection.cc" "CMakeFiles/rtgs.dir/src/gs/projection.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/gs/projection.cc.o.d"
+  "/root/repo/src/gs/rasterizer.cc" "CMakeFiles/rtgs.dir/src/gs/rasterizer.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/gs/rasterizer.cc.o.d"
+  "/root/repo/src/gs/reference.cc" "CMakeFiles/rtgs.dir/src/gs/reference.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/gs/reference.cc.o.d"
+  "/root/repo/src/gs/render_pipeline.cc" "CMakeFiles/rtgs.dir/src/gs/render_pipeline.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/gs/render_pipeline.cc.o.d"
+  "/root/repo/src/gs/sorting.cc" "CMakeFiles/rtgs.dir/src/gs/sorting.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/gs/sorting.cc.o.d"
+  "/root/repo/src/gs/tiling.cc" "CMakeFiles/rtgs.dir/src/gs/tiling.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/gs/tiling.cc.o.d"
+  "/root/repo/src/hw/config.cc" "CMakeFiles/rtgs.dir/src/hw/config.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/hw/config.cc.o.d"
+  "/root/repo/src/hw/energy.cc" "CMakeFiles/rtgs.dir/src/hw/energy.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/hw/energy.cc.o.d"
+  "/root/repo/src/hw/gpu_model.cc" "CMakeFiles/rtgs.dir/src/hw/gpu_model.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/hw/gpu_model.cc.o.d"
+  "/root/repo/src/hw/memory.cc" "CMakeFiles/rtgs.dir/src/hw/memory.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/hw/memory.cc.o.d"
+  "/root/repo/src/hw/rtgs_model.cc" "CMakeFiles/rtgs.dir/src/hw/rtgs_model.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/hw/rtgs_model.cc.o.d"
+  "/root/repo/src/hw/system_model.cc" "CMakeFiles/rtgs.dir/src/hw/system_model.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/hw/system_model.cc.o.d"
+  "/root/repo/src/hw/trace.cc" "CMakeFiles/rtgs.dir/src/hw/trace.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/hw/trace.cc.o.d"
+  "/root/repo/src/image/io.cc" "CMakeFiles/rtgs.dir/src/image/io.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/image/io.cc.o.d"
+  "/root/repo/src/image/metrics.cc" "CMakeFiles/rtgs.dir/src/image/metrics.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/image/metrics.cc.o.d"
+  "/root/repo/src/image/resize.cc" "CMakeFiles/rtgs.dir/src/image/resize.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/image/resize.cc.o.d"
+  "/root/repo/src/slam/evaluation.cc" "CMakeFiles/rtgs.dir/src/slam/evaluation.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/slam/evaluation.cc.o.d"
+  "/root/repo/src/slam/health_monitor.cc" "CMakeFiles/rtgs.dir/src/slam/health_monitor.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/slam/health_monitor.cc.o.d"
+  "/root/repo/src/slam/keyframe.cc" "CMakeFiles/rtgs.dir/src/slam/keyframe.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/slam/keyframe.cc.o.d"
+  "/root/repo/src/slam/loss.cc" "CMakeFiles/rtgs.dir/src/slam/loss.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/slam/loss.cc.o.d"
+  "/root/repo/src/slam/map_worker.cc" "CMakeFiles/rtgs.dir/src/slam/map_worker.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/slam/map_worker.cc.o.d"
+  "/root/repo/src/slam/mapper.cc" "CMakeFiles/rtgs.dir/src/slam/mapper.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/slam/mapper.cc.o.d"
+  "/root/repo/src/slam/optimizer.cc" "CMakeFiles/rtgs.dir/src/slam/optimizer.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/slam/optimizer.cc.o.d"
+  "/root/repo/src/slam/pipeline.cc" "CMakeFiles/rtgs.dir/src/slam/pipeline.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/slam/pipeline.cc.o.d"
+  "/root/repo/src/slam/preprocess.cc" "CMakeFiles/rtgs.dir/src/slam/preprocess.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/slam/preprocess.cc.o.d"
+  "/root/repo/src/slam/profiler.cc" "CMakeFiles/rtgs.dir/src/slam/profiler.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/slam/profiler.cc.o.d"
+  "/root/repo/src/slam/tracker.cc" "CMakeFiles/rtgs.dir/src/slam/tracker.cc.o" "gcc" "CMakeFiles/rtgs.dir/src/slam/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_async_slam.cc" "CMakeFiles/rtgs_tests.dir/tests/test_async_slam.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_async_slam.cc.o.d"
+  "/root/repo/tests/test_common.cc" "CMakeFiles/rtgs_tests.dir/tests/test_common.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_common.cc.o.d"
+  "/root/repo/tests/test_core.cc" "CMakeFiles/rtgs_tests.dir/tests/test_core.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_core.cc.o.d"
+  "/root/repo/tests/test_data.cc" "CMakeFiles/rtgs_tests.dir/tests/test_data.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_data.cc.o.d"
+  "/root/repo/tests/test_fault_injection.cc" "CMakeFiles/rtgs_tests.dir/tests/test_fault_injection.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_fault_injection.cc.o.d"
+  "/root/repo/tests/test_geometry.cc" "CMakeFiles/rtgs_tests.dir/tests/test_geometry.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_geometry.cc.o.d"
+  "/root/repo/tests/test_gs_backward.cc" "CMakeFiles/rtgs_tests.dir/tests/test_gs_backward.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_gs_backward.cc.o.d"
+  "/root/repo/tests/test_gs_backward_parallel.cc" "CMakeFiles/rtgs_tests.dir/tests/test_gs_backward_parallel.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_gs_backward_parallel.cc.o.d"
+  "/root/repo/tests/test_gs_cow.cc" "CMakeFiles/rtgs_tests.dir/tests/test_gs_cow.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_gs_cow.cc.o.d"
+  "/root/repo/tests/test_gs_equivalence.cc" "CMakeFiles/rtgs_tests.dir/tests/test_gs_equivalence.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_gs_equivalence.cc.o.d"
+  "/root/repo/tests/test_gs_forward.cc" "CMakeFiles/rtgs_tests.dir/tests/test_gs_forward.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_gs_forward.cc.o.d"
+  "/root/repo/tests/test_health_monitor.cc" "CMakeFiles/rtgs_tests.dir/tests/test_health_monitor.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_health_monitor.cc.o.d"
+  "/root/repo/tests/test_hw.cc" "CMakeFiles/rtgs_tests.dir/tests/test_hw.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_hw.cc.o.d"
+  "/root/repo/tests/test_hw_memory.cc" "CMakeFiles/rtgs_tests.dir/tests/test_hw_memory.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_hw_memory.cc.o.d"
+  "/root/repo/tests/test_image.cc" "CMakeFiles/rtgs_tests.dir/tests/test_image.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_image.cc.o.d"
+  "/root/repo/tests/test_multi_view.cc" "CMakeFiles/rtgs_tests.dir/tests/test_multi_view.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_multi_view.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "CMakeFiles/rtgs_tests.dir/tests/test_properties.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_properties.cc.o.d"
+  "/root/repo/tests/test_rtgs_slam.cc" "CMakeFiles/rtgs_tests.dir/tests/test_rtgs_slam.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_rtgs_slam.cc.o.d"
+  "/root/repo/tests/test_similarity_gate.cc" "CMakeFiles/rtgs_tests.dir/tests/test_similarity_gate.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_similarity_gate.cc.o.d"
+  "/root/repo/tests/test_slam.cc" "CMakeFiles/rtgs_tests.dir/tests/test_slam.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_slam.cc.o.d"
+  "/root/repo/tests/test_slam_integration.cc" "CMakeFiles/rtgs_tests.dir/tests/test_slam_integration.cc.o" "gcc" "CMakeFiles/rtgs_tests.dir/tests/test_slam_integration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/rtgs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(rtgs_tests "/root/repo/build-review/rtgs_tests")
+set_tests_properties(rtgs_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;49;add_test;/root/repo/CMakeLists.txt;0;")
