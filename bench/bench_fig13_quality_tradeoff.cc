@@ -2,16 +2,49 @@
  * @file
  * Regenerates Fig. 13: (a) the accuracy/efficiency trade-off of the
  * RTGS pruning against the more precise LightGaussian/FlashGS scoring
- * (which pay extra scoring passes), and (b) cumulative drift over the
- * sequence for increasing pruning ratios.
+ * (which pay extra scoring passes), (b) cumulative drift over the
+ * sequence for increasing pruning ratios, and (c) the
+ * approximate-computing ladder ablation (pipeline presets precise /
+ * fast / fastest_approx; see docs/APPROXIMATION.md) with per-rung
+ * wall-clock, PSNR and ATE written to
+ * BENCH_fig13_quality_tradeoff.json (override with RTGS_FIG13_JSON).
  *
  * Expected shape: RTGS reaches higher FPS at comparable ATE because
  * its scoring is free; drift stays near-baseline up to ~50% pruning
- * and degrades sharply at 80%.
+ * and degrades sharply at 80%. The ladder's precise rung must be
+ * byte-identical to the default pipeline, and fastest_approx may cost
+ * at most 0.3 dB PSNR (gates enforced via the exit code).
  */
 
+#include <cstring>
+
 #include "bench_util.hh"
+#include "common/cpu_features.hh"
 #include "core/baselines.hh"
+#include "gs/pipeline_config.hh"
+#include "gs/row_kernels.hh"
+
+namespace
+{
+
+/** Bitwise trajectory compare (determinism currency of this repo). */
+bool
+identicalTrajectories(const std::vector<rtgs::SE3> &a,
+                      const std::vector<rtgs::SE3> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::memcmp(&a[i].rot, &b[i].rot, sizeof(a[i].rot)) != 0 ||
+            std::memcmp(&a[i].trans, &b[i].trans,
+                        sizeof(a[i].trans)) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
 
 int
 main()
@@ -117,9 +150,107 @@ main()
     }
     drift_table.print();
 
+    // ---- (c) approximation-ladder rung ablation ----------------------
+    // Same MonoGS-like sequence per rung; only the pipeline preset
+    // changes. Wall-clock is the real end-to-end SLAM time at this
+    // bench scale; PSNR/ATE quantify the quality cost of each rung.
+    TablePrinter ladder_table({"preset", "wall (s)", "PSNR (dB)",
+                               "final ATE (cm)", "kernels"});
+    ladder_table.setTitle("\n(c) approximation ladder "
+                          "(precise / fast / fastest_approx)");
+
+    struct RungResult
+    {
+        const char *name;
+        double wall, psnr, ate;
+        std::vector<SE3> trajectory;
+    };
+    std::vector<RungResult> rungs;
+    const gs::PipelinePreset presets[] = {
+        gs::PipelinePreset::Precise, gs::PipelinePreset::Fast,
+        gs::PipelinePreset::FastestApprox};
+    for (gs::PipelinePreset preset : presets) {
+        data::SyntheticDataset ds(spec);
+        core::RtgsSlamConfig cfg = benchConfig(slam::BaseAlgorithm::MonoGs);
+        cfg.enableDownsampling = false;
+        cfg.pruner.maxPruneRatio = 0.5f;
+        cfg.base.pipeline.preset = preset;
+        RunOutcome run = runSequence(ds, cfg);
+        rungs.push_back({gs::pipelinePresetName(preset),
+                         run.wallSeconds, run.psnrDb, run.ateRmse * 100,
+                         std::move(run.trajectory)});
+    }
+    // Byte-identity gate: the default pipeline (preset untouched) must
+    // reproduce the precise rung bit-for-bit — the plumbing itself may
+    // not perturb a single float.
+    bool precise_identical;
+    {
+        data::SyntheticDataset ds(spec);
+        core::RtgsSlamConfig cfg = benchConfig(slam::BaseAlgorithm::MonoGs);
+        cfg.enableDownsampling = false;
+        cfg.pruner.maxPruneRatio = 0.5f;
+        RunOutcome run = runSequence(ds, cfg);
+        precise_identical =
+            identicalTrajectories(run.trajectory, rungs[0].trajectory);
+    }
+    for (size_t i = 0; i < rungs.size(); ++i) {
+        const gs::RowKernels &kern = gs::selectRowKernels(
+            presets[i], activeSimdLevel());
+        ladder_table.addRow({rungs[i].name,
+                             TablePrinter::num(rungs[i].wall, 3),
+                             TablePrinter::num(rungs[i].psnr, 2),
+                             TablePrinter::num(rungs[i].ate),
+                             kern.name});
+    }
+    ladder_table.print();
+    double psnr_drop = rungs[0].psnr - rungs[2].psnr;
+    std::printf("\nprecise byte-identical to default pipeline: %s; "
+                "fastest_approx PSNR drop %.3f dB (gate <= 0.3)\n",
+                precise_identical ? "yes" : "NO", psnr_drop);
+
+    std::string json_path;
+    if (std::FILE *out = openBenchJson(
+            "RTGS_FIG13_JSON", "BENCH_fig13_quality_tradeoff.json",
+            json_path)) {
+        std::fprintf(out,
+                     "{\n"
+                     "  \"bench\": \"fig13_quality_tradeoff\",\n"
+                     "  \"scale\": %.3f,\n"
+                     "  \"frames\": %u,\n"
+                     "  \"simd_level\": \"%s\",\n"
+                     "  \"precise_byte_identical\": %s,\n"
+                     "  \"fastest_approx_psnr_drop_db\": %.4f,\n"
+                     "  \"rungs\": [\n",
+                     static_cast<double>(benchScale()), benchFrames(),
+                     simdLevelName(activeSimdLevel()),
+                     precise_identical ? "true" : "false", psnr_drop);
+        for (size_t i = 0; i < rungs.size(); ++i) {
+            std::fprintf(
+                out,
+                "    {\"preset\": \"%s\", \"wall_s\": %.4f, "
+                "\"psnr_db\": %.4f, \"ate_cm\": %.4f}%s\n",
+                rungs[i].name, rungs[i].wall, rungs[i].psnr,
+                rungs[i].ate, i + 1 < rungs.size() ? "," : "");
+        }
+        std::fprintf(out, "  ]\n}\n");
+        std::fclose(out);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
     std::printf("\nShape check vs paper Fig. 13: RTGS matches baseline "
                 "ATE at higher FPS than the\nprecise pruners; drift "
                 "stays controlled to ~50%% pruning and blows up at "
                 "80%%.\n");
+    if (!precise_identical) {
+        std::fprintf(stderr, "FAIL: precise rung not byte-identical to "
+                             "the default pipeline\n");
+        return 1;
+    }
+    if (psnr_drop > 0.3) {
+        std::fprintf(stderr,
+                     "FAIL: fastest_approx PSNR drop %.3f dB exceeds "
+                     "0.3 dB\n", psnr_drop);
+        return 1;
+    }
     return 0;
 }

@@ -14,16 +14,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <vector>
 
+#include "common/cpu_features.hh"
 #include "common/thread_pool.hh"
 #include "data/scene.hh"
 #include "gs/reference.hh"
 #include "gs/render_pipeline.hh"
+#include "gs/row_kernels.hh"
 
 namespace
 {
@@ -205,6 +209,107 @@ timeMs(Fn &&fn, int reps, double &wall_ms, double &cpu_ms)
         cpu_ms = std::min(cpu_ms, 1000.0 * double(c1 - c0) /
                                       double(CLOCKS_PER_SEC));
     }
+}
+
+/**
+ * Forward-row-kernel ladder timings (ISSUE 7 acceptance): drive each
+ * rung's forwardRow function pointer over an identical synthetic
+ * fragment stream — one wide low-opacity splat per slot swept across a
+ * 16-row x 256-px pixel block, every fragment blending — so the
+ * measurement isolates the per-fragment arithmetic (exp + blend
+ * recurrence) from tile scheduling, binning and projection. The
+ * fast/fastest_approx rungs must beat precise by >= 1.5x wall-clock
+ * when the AVX2 dispatch path is active; on scalar-only hosts the
+ * numbers are still recorded but the gate is skipped (the scalar
+ * rungs differ only in exp flavour, not in width).
+ */
+struct LadderTimings
+{
+    double precise_ms = 0, fast_ms = 0, approx_ms = 0;
+    double fast_speedup = 0, approx_speedup = 0;
+    const char *level = "";
+    const char *fast_name = "";
+    const char *approx_name = "";
+};
+
+LadderTimings
+timeRowKernels(int reps)
+{
+    constexpr u32 kW = 256;       // pixels per row
+    constexpr u32 kRows = 16;     // rows per pass (one tall tile)
+    constexpr u32 kSplats = 96;   // fragment stream depth per pixel
+    const size_t n_px = size_t(kW) * kRows;
+
+    // One splat per slot: broad (cxx tiny, so every pixel's power stays
+    // in (-0.1, 0]) and faint (alpha ~ 0.05, so transmittance survives
+    // all 96 slots above the early-termination threshold).
+    std::vector<gs::HotSplat> splats(kSplats);
+    for (u32 s = 0; s < kSplats; ++s) {
+        gs::HotSplat &g = splats[s];
+        g.mx = Real(kW) / 2 + Real(s % 7) - 3;
+        g.my = Real(kRows) / 2;
+        g.cxx = Real(1e-5);
+        g.cxy = Real(1e-6);
+        g.cyy = Real(2e-4);
+        g.powerSkip = Real(-30);
+        g.opacity = Real(0.05) + Real(0.002) * Real(s % 5);
+        g.r = Real(0.2) + Real(0.01) * Real(s % 11);
+        g.g = Real(0.5);
+        g.b = Real(0.7);
+        g.depth = Real(2) + Real(0.01) * Real(s);
+    }
+
+    std::vector<Real> T(n_px), r(n_px), gch(n_px), b(n_px), d(n_px);
+    std::vector<u32> blended(n_px), term(n_px);
+    std::vector<Real> scratch(2 * kW);
+    const gs::RowKernelCtx ctx{Real(1) / 255, Real(0.99), Real(1e-4)};
+
+    auto pass = [&](const gs::RowKernels &kern) {
+        std::fill(T.begin(), T.end(), Real(1));
+        std::fill(r.begin(), r.end(), Real(0));
+        std::fill(gch.begin(), gch.end(), Real(0));
+        std::fill(b.begin(), b.end(), Real(0));
+        std::fill(d.begin(), d.end(), Real(0));
+        std::fill(blended.begin(), blended.end(), 0u);
+        std::fill(term.begin(), term.end(), gs::kRowNotTerminated);
+        u32 terminated = 0;
+        for (u32 s = 0; s < kSplats; ++s) {
+            const gs::HotSplat &g = splats[s];
+            for (u32 row = 0; row < kRows; ++row) {
+                const size_t off = size_t(row) * kW;
+                const Real dy = (Real(row) + Real(0.5)) - g.my;
+                gs::ForwardRowState px{T.data() + off, r.data() + off,
+                                       gch.data() + off, b.data() + off,
+                                       d.data() + off,
+                                       blended.data() + off,
+                                       term.data() + off};
+                terminated += kern.forwardRow(g, dy, 0, kW, s, ctx, px,
+                                              scratch.data());
+            }
+        }
+        benchmark::DoNotOptimize(terminated);
+        benchmark::DoNotOptimize(r.data());
+    };
+
+    const SimdLevel level = activeSimdLevel();
+    const gs::RowKernels &precise =
+        gs::selectRowKernels(gs::PipelinePreset::Precise, level);
+    const gs::RowKernels &fast =
+        gs::selectRowKernels(gs::PipelinePreset::Fast, level);
+    const gs::RowKernels &approx =
+        gs::selectRowKernels(gs::PipelinePreset::FastestApprox, level);
+
+    LadderTimings lad;
+    lad.level = simdLevelName(level);
+    lad.fast_name = fast.name;
+    lad.approx_name = approx.name;
+    double cpu; // CPU time tracks wall on this single-thread workload
+    timeMs([&] { pass(precise); }, reps, lad.precise_ms, cpu);
+    timeMs([&] { pass(fast); }, reps, lad.fast_ms, cpu);
+    timeMs([&] { pass(approx); }, reps, lad.approx_ms, cpu);
+    lad.fast_speedup = lad.precise_ms / lad.fast_ms;
+    lad.approx_speedup = lad.precise_ms / lad.approx_ms;
+    return lad;
 }
 
 /**
@@ -476,6 +581,8 @@ writeComparison()
     double backward_speedup = bseed_wall / brtgs_wall;
     double backward_cpu_speedup = bseed_cpu / brtgs_cpu;
 
+    LadderTimings lad = timeRowKernels(reps);
+
     std::FILE *out = std::fopen(path, "w");
     if (!out) {
         std::fprintf(stderr, "cannot open %s\n", path);
@@ -504,12 +611,23 @@ writeComparison()
         "  \"backward_cpu_speedup\": %.3f,\n"
         "  \"backward_max_rel_grad_diff\": %.3g,\n"
         "  \"backward_seed_vs_f64_truth\": %.3g,\n"
-        "  \"backward_rtgs_vs_f64_truth\": %.3g\n"
+        "  \"backward_rtgs_vs_f64_truth\": %.3g,\n"
+        "  \"simd_level\": \"%s\",\n"
+        "  \"rowkernel_fast_name\": \"%s\",\n"
+        "  \"rowkernel_fastest_approx_name\": \"%s\",\n"
+        "  \"rowkernel_precise_ms\": %.4f,\n"
+        "  \"rowkernel_fast_ms\": %.4f,\n"
+        "  \"rowkernel_fastest_approx_ms\": %.4f,\n"
+        "  \"rowkernel_fast_speedup\": %.3f,\n"
+        "  \"rowkernel_fastest_approx_speedup\": %.3f\n"
         "}\n",
         f.cloud.size(), globalPool().size() + 1, reps, seed_wall,
         rtgs_wall, speedup, seed_cpu, rtgs_cpu, cpu_speedup, diff,
         bseed_wall, brtgs_wall, backward_speedup, bseed_cpu, brtgs_cpu,
-        backward_cpu_speedup, grad_diff, seed_vs_gt, rtgs_vs_gt);
+        backward_cpu_speedup, grad_diff, seed_vs_gt, rtgs_vs_gt,
+        lad.level, lad.fast_name, lad.approx_name, lad.precise_ms,
+        lad.fast_ms, lad.approx_ms, lad.fast_speedup,
+        lad.approx_speedup);
     std::fclose(out);
 
     std::printf("\n== forward pass: seed serial vs parallel SoA ==\n");
@@ -527,6 +645,14 @@ writeComparison()
                 backward_speedup, backward_cpu_speedup, grad_diff);
     std::printf("vs f64 ground truth: seed %.3g, rtgs %.3g\n",
                 seed_vs_gt, rtgs_vs_gt);
+    std::printf("\n== forward row-kernel ladder (%s dispatch) ==\n",
+                lad.level);
+    std::printf("precise        %.3f ms  (scalar-exact)\n",
+                lad.precise_ms);
+    std::printf("fast           %.3f ms  (%s)  %.2fx\n", lad.fast_ms,
+                lad.fast_name, lad.fast_speedup);
+    std::printf("fastest_approx %.3f ms  (%s)  %.2fx\n", lad.approx_ms,
+                lad.approx_name, lad.approx_speedup);
     std::printf("wrote %s\n", path);
 
     if (diff > 1e-6) {
@@ -554,6 +680,18 @@ writeComparison()
                      "FAIL: splat-major kernel drifts further from f64 "
                      "ground truth (%.3g) than the reference (%.3g)\n",
                      rtgs_vs_gt, seed_vs_gt);
+        return 1;
+    }
+    // Ladder acceptance (ISSUE 7): the SIMD rungs must beat the scalar
+    // precise kernel by >= 1.5x wall-clock. Only meaningful when AVX2
+    // actually dispatched — on scalar-only hosts the rungs share width
+    // and the numbers are recorded without a gate.
+    if (activeSimdLevel() >= SimdLevel::Avx2 &&
+        (lad.fast_speedup < 1.5 || lad.approx_speedup < 1.5)) {
+        std::fprintf(stderr,
+                     "FAIL: row-kernel ladder below 1.5x (fast %.2fx, "
+                     "fastest_approx %.2fx)\n",
+                     lad.fast_speedup, lad.approx_speedup);
         return 1;
     }
     return 0;

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Runtime CPU feature detection and the SIMD dispatch level shared by
+ * every explicit-width kernel in the pipeline.
+ *
+ * Kernel selection is a *runtime* decision: the library always builds
+ * the scalar kernels with the baseline flags, the AVX2 kernels live in
+ * one translation unit compiled with -mavx2/-mfma/-mf16c, and the
+ * dispatcher picks between them per process from CPUID (never from the
+ * compiler flags of the calling TU). The RTGS_SIMD environment variable
+ * can force a lower level ("scalar") so both dispatch paths are
+ * exercisable on the same binary — the scalar CI shard relies on this.
+ */
+
+#ifndef RTGS_COMMON_CPU_FEATURES_HH
+#define RTGS_COMMON_CPU_FEATURES_HH
+
+#include "common/types.hh"
+
+namespace rtgs
+{
+
+/** Instruction-set capabilities of the running CPU (CPUID-derived). */
+struct CpuFeatures
+{
+    bool avx2 = false; //!< AVX2 integer/float 256-bit ops
+    bool fma = false;  //!< FMA3
+    bool f16c = false; //!< hardware fp16 <-> fp32 conversion
+    bool osAvx = false; //!< OS saves/restores YMM state (XGETBV)
+};
+
+/** CPUID query, computed once per process. */
+const CpuFeatures &cpuFeatures();
+
+/**
+ * SIMD dispatch ladder. Avx2 implies FMA (the kernels fuse the conic
+ * quadratic form); a CPU with AVX2 but no FMA dispatches Scalar.
+ */
+enum class SimdLevel : u8
+{
+    Scalar = 0,
+    Avx2 = 1,
+};
+
+/** Highest level the hardware (and OS) supports. */
+SimdLevel detectedSimdLevel();
+
+/**
+ * The level kernels actually dispatch to: detectedSimdLevel() capped by
+ * the RTGS_SIMD environment variable ("scalar" forces the fallback
+ * path; "avx2" is a no-op cap). Read once, cached for the process.
+ */
+SimdLevel activeSimdLevel();
+
+/** Human-readable level name ("scalar", "avx2") for logs and JSON. */
+const char *simdLevelName(SimdLevel level);
+
+} // namespace rtgs
+
+#endif // RTGS_COMMON_CPU_FEATURES_HH

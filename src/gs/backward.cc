@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "gs/row_kernels.hh"
 
 namespace rtgs::gs
 {
@@ -209,38 +210,6 @@ backwardTile(u32 tile, const ProjectedCloud &projected,
     }
 }
 
-namespace
-{
-
-/**
- * Per-pixel state of the splat-major backward walk, 32 bytes so two
- * pixels share a cache line on the short bbox row segments:
- *
- *  - `T`: the running rear transmittance — divided by (1 - alpha) at
- *    each blended fragment to recover the transmittance in front of it
- *    (the forward pass only stored the final product);
- *  - `acc`: the rear-accumulated colour/depth of Eq. 4, pre-dotted
- *    with the pixel adjoints (a single scalar recurrence
- *    acc' = gd * alpha + acc * (1 - alpha), where gd is the splat's
- *    colour/depth dotted with the adjoints — algebraically identical
- *    to the reference's per-channel recurrences);
- *  - `bgT`: finalT * background.dot(dL/dC), the constant numerator of
- *    the background term of Eq. 4;
- *  - `dlR/G/B/D`: the pixel's loss adjoints;
- *  - `ce`: the forward pass's nContrib (0 marks a zero-adjoint pixel).
- */
-struct BwdPixState
-{
-    Real T;
-    Real acc;
-    Real bgT;
-    Real dlR, dlG, dlB, dlD;
-    u32 ce;
-};
-static_assert(sizeof(BwdPixState) == 32, "two states per cache line");
-
-} // namespace
-
 void
 backwardTileSplatMajor(u32 tile, const ProjectedCloud &projected,
                        const TileBins &bins, const TileGrid &grid,
@@ -262,32 +231,48 @@ backwardTileSplatMajor(u32 tile, const ProjectedCloud &projected,
     // state. `cap` is the tile-wide last-contributor bound: stream
     // positions >= cap were examined by no pixel, so the reverse walk
     // never has to visit them at all (the backward twin of forward
-    // early termination); rowCe is the same bound per tile row.
+    // early termination); rowCe is the same bound per tile row. The
+    // state is SoA — T (rear transmittance), acc (rear colour/depth
+    // pre-dotted with the adjoints), bgT (finalT * background.dL/dC),
+    // the four adjoints, and ce (forward nContrib; 0 marks a
+    // zero-adjoint pixel) — so the AVX2 rungs load 8 contiguous lanes
+    // per field; the per-pixel arithmetic lives in the preset-selected
+    // row kernel (gs/row_kernels.hh), whose `precise` scalar form
+    // replicates the pre-ladder loop operation for operation.
     const u32 tw = x1 - x0, th = y1 - y0;
     const u32 n_px = tw * th;
-    static thread_local std::vector<BwdPixState> state;
+    static thread_local std::vector<Real> bw_T, bw_acc, bw_bgT;
+    static thread_local std::vector<Real> bw_dlR, bw_dlG, bw_dlB, bw_dlD;
+    static thread_local std::vector<u32> bw_ce;
     static thread_local std::vector<u32> row_ce;
-    state.resize(n_px);
+    bw_T.resize(n_px);
+    bw_acc.resize(n_px);
+    bw_bgT.resize(n_px);
+    bw_dlR.resize(n_px);
+    bw_dlG.resize(n_px);
+    bw_dlB.resize(n_px);
+    bw_dlD.resize(n_px);
+    bw_ce.resize(n_px);
     row_ce.assign(th, 0);
     u32 cap = 0;
     for (u32 py = y0; py < y1; ++py) {
         u32 rce = 0;
         for (u32 px = x0; px < x1; ++px) {
-            BwdPixState &st = state[(py - y0) * tw + (px - x0)];
+            const size_t i = (py - y0) * tw + (px - x0);
             Vec3f dl_dc = dl_dcolor.at(px, py);
             Real dl_dd = dl_ddepth ? dl_ddepth->at(px, py) : Real(0);
             u32 contrib = result.nContrib.at(px, py);
             if (dl_dc.squaredNorm() == 0 && dl_dd == 0)
                 contrib = 0; // zero adjoint: pixel contributes nothing
             Real t_final = result.finalT.at(px, py);
-            st = BwdPixState{t_final,
-                             0,
-                             t_final * settings.background.dot(dl_dc),
-                             dl_dc.x,
-                             dl_dc.y,
-                             dl_dc.z,
-                             dl_dd,
-                             contrib};
+            bw_T[i] = t_final;
+            bw_acc[i] = 0;
+            bw_bgT[i] = t_final * settings.background.dot(dl_dc);
+            bw_dlR[i] = dl_dc.x;
+            bw_dlG[i] = dl_dc.y;
+            bw_dlB[i] = dl_dc.z;
+            bw_dlD[i] = dl_dd;
+            bw_ce[i] = contrib;
             rce = std::max(rce, contrib);
         }
         row_ce[py - y0] = rce;
@@ -301,16 +286,12 @@ backwardTileSplatMajor(u32 tile, const ProjectedCloud &projected,
     const std::vector<HotSplat> &splats =
         gatherTileSplats(projected.soa, bins, tile);
 
-    // Per-row exponent/offset buffers: the same vectorisable kernel
-    // (and hence bit-exact power values) as the forward rasteriser.
-    static thread_local std::vector<Real> power_buf, dx_buf;
-    power_buf.resize(tw);
-    dx_buf.resize(tw);
-    Real *__restrict power_row = power_buf.data();
-    Real *__restrict dx_row = dx_buf.data();
+    static thread_local std::vector<Real> scratch;
+    scratch.resize(2 * static_cast<size_t>(tw));
 
-    const Real alpha_min = settings.alphaMin;
-    const Real alpha_max = settings.alphaMax;
+    const RowKernels &kern = selectRowKernels(settings.pipeline);
+    const RowKernelCtx ctx{settings.alphaMin, settings.alphaMax,
+                           settings.transmittanceEps};
 
     for (u32 s = cap; s-- > 0;) {
         const HotSplat &g = splats[s];
@@ -320,101 +301,42 @@ backwardTileSplatMajor(u32 tile, const ProjectedCloud &projected,
             continue;
         }
 
-        // The whole splat's gradient lives in registers until the bbox
-        // walk finishes: one store per (tile, splat) instead of one
-        // scatter per fragment. The mean/conic gradients accumulate as
-        // raw moment sums of dl_dpower (s_x = sum dx dp, s_xx =
+        // The whole splat's gradient lives in the accumulator until the
+        // bbox walk finishes: one store per (tile, splat) instead of
+        // one scatter per fragment. The mean/conic gradients accumulate
+        // as raw moment sums of dl_dpower (s_x = sum dx dp, s_xx =
         // sum dx^2 dp, ...); the constant conic factors and the -1/2
         // are applied once per splat when the record is written — the
         // distributed form of the reference's per-fragment expressions,
         // within this kernel's documented tolerance.
-        Real d_r = 0, d_g = 0, d_b = 0, d_depth = 0, d_op = 0;
-        Real s_x = 0, s_y = 0, s_xx = 0, s_xy = 0, s_yy = 0;
+        BackwardSplatAccum a;
 
         const Real cxx = g.cxx, cxy = g.cxy, cyy = g.cyy;
-        const Real skip = g.powerSkip;
+        const u32 w_row = sx1 - sx0;
         for (u32 py = sy0; py < sy1; ++py) {
             if (s >= row_ce[py - y0])
                 continue; // every pixel of the row terminated earlier
             const Real dy = (static_cast<Real>(py) + Real(0.5)) - g.my;
-            const u32 w_row = sx1 - sx0;
-            evalPowerRow(g, dy, sx0, w_row, power_row, dx_row);
-
-            BwdPixState *row_state =
-                state.data() + (py - y0) * tw + (sx0 - x0);
-            for (u32 i = 0; i < w_row; ++i) {
-                Real power = power_row[i];
-                if (power > 0)
-                    continue;
-                if (power < skip)
-                    continue;
-                BwdPixState &st = row_state[i];
-                if (s >= st.ce)
-                    continue; // never examined forward at this pixel
-                Real gval = std::exp(power);
-                Real raw_alpha = g.opacity * gval;
-                bool clamped = raw_alpha > alpha_max;
-                Real alpha = clamped ? alpha_max : raw_alpha;
-                if (alpha < alpha_min)
-                    continue;
-
-                // Recover the transmittance in front of this fragment
-                // from the running rear value; the forward pass only
-                // stored the final product.
-                Real om = 1 - alpha;
-                Real inv_om = Real(1) / om;
-                Real t_before = st.T * inv_om;
-                st.T = t_before;
-
-                // Colour gradient: dC/dc_j = alpha_j * T_j.
-                Real w = alpha * t_before;
-                d_r += st.dlR * w;
-                d_g += st.dlG * w;
-                d_b += st.dlB * w;
-                d_depth += st.dlD * w;
-
-                // The splat's colour/depth dotted with the adjoints;
-                // feeds both Eq. 4 and the rear accumulation.
-                Real gd = g.r * st.dlR + g.g * st.dlG + g.b * st.dlB +
-                          g.depth * st.dlD;
-                Real acc = st.acc;
-
-                if (!clamped) {
-                    // Alpha gradient: Eq. 4 plus the background term.
-                    Real dl_dalpha =
-                        (gd - acc) * t_before - st.bgT * inv_om;
-
-                    // alpha = opacity * G, G = exp(power).
-                    d_op += gval * dl_dalpha;
-                    Real dl_dpower = alpha * dl_dalpha;
-
-                    // power = -0.5 d^T conic d, d = pixel - mean2d.
-                    Real dx = dx_row[i];
-                    Real mx = dx * dl_dpower;
-                    Real my = dy * dl_dpower;
-                    s_x += mx;
-                    s_y += my;
-                    s_xx += dx * mx;
-                    s_xy += dx * my;
-                    s_yy += dy * my;
-                }
-
-                // Rear accumulation now includes this fragment; the
-                // next (front-er) fragment's Eq. 4 term reads it.
-                st.acc = gd * alpha + acc * om;
-            }
+            const size_t off = (py - y0) * tw + (sx0 - x0);
+            const BackwardRowState px{
+                bw_T.data() + off,   bw_acc.data() + off,
+                bw_bgT.data() + off, bw_dlR.data() + off,
+                bw_dlG.data() + off, bw_dlB.data() + off,
+                bw_dlD.data() + off, bw_ce.data() + off};
+            kern.backwardRow(g, dy, sx0, w_row, s, ctx, px, a,
+                             scratch.data());
         }
 
-        recs[s] = SplatGradRecord{cxx * s_x + cxy * s_y,
-                                  cxy * s_x + cyy * s_y,
-                                  Real(-0.5) * s_xx,
-                                  -s_xy,
-                                  Real(-0.5) * s_yy,
-                                  d_r,
-                                  d_g,
-                                  d_b,
-                                  d_op,
-                                  d_depth};
+        recs[s] = SplatGradRecord{cxx * a.sX + cxy * a.sY,
+                                  cxy * a.sX + cyy * a.sY,
+                                  Real(-0.5) * a.sXX,
+                                  -a.sXY,
+                                  Real(-0.5) * a.sYY,
+                                  a.dR,
+                                  a.dG,
+                                  a.dB,
+                                  a.dOp,
+                                  a.dDepth};
     }
 }
 

@@ -51,8 +51,10 @@ GaussianCloud::push(const Vec3f &pos, const Vec3f &log_scale,
     positions.mut().push_back(pos);
     logScales.mut().push_back(log_scale);
     rotations.mut().push_back(rot);
-    opacityLogits.mut().push_back(opacity_logit);
-    shCoeffs.mut().push_back(sh);
+    // Colour/opacity may be stored packed (fp16/bf16); pushBack narrows
+    // at the column's storage precision.
+    opacityLogits.pushBack(opacity_logit);
+    shCoeffs.pushBack(sh);
     active.mut().push_back(1);
     ids.mut().push_back(nextId_++);
 }
@@ -75,35 +77,13 @@ GaussianCloud::compact(const std::vector<u8> &keep)
     // absorbed); don't re-materialise seven columns for a no-op.
     if (std::find(keep.begin(), keep.end(), u8(0)) == keep.end())
         return;
-    auto &pos = positions.mut();
-    auto &scl = logScales.mut();
-    auto &rot = rotations.mut();
-    auto &opa = opacityLogits.mut();
-    auto &sh = shCoeffs.mut();
-    auto &act = active.mut();
-    auto &id = ids.mut();
-    size_t w = 0;
-    for (size_t r = 0; r < keep.size(); ++r) {
-        if (!keep[r])
-            continue;
-        if (w != r) {
-            pos[w] = pos[r];
-            scl[w] = scl[r];
-            rot[w] = rot[r];
-            opa[w] = opa[r];
-            sh[w] = sh[r];
-            act[w] = act[r];
-            id[w] = id[r];
-        }
-        ++w;
-    }
-    pos.resize(w);
-    scl.resize(w);
-    rot.resize(w);
-    opa.resize(w);
-    sh.resize(w);
-    act.resize(w);
-    id.resize(w);
+    positions.compactKeep(keep);
+    logScales.compactKeep(keep);
+    rotations.compactKeep(keep);
+    opacityLogits.compactKeep(keep);
+    shCoeffs.compactKeep(keep);
+    active.compactKeep(keep);
+    ids.compactKeep(keep);
 }
 
 std::vector<u8>
@@ -132,8 +112,8 @@ GaussianCloud::reserve(size_t n)
     positions.mut().reserve(n);
     logScales.mut().reserve(n);
     rotations.mut().reserve(n);
-    opacityLogits.mut().reserve(n);
-    shCoeffs.mut().reserve(n);
+    opacityLogits.reserveElems(n);
+    shCoeffs.reserveElems(n);
     active.mut().reserve(n);
     ids.mut().reserve(n);
 }
@@ -144,8 +124,8 @@ GaussianCloud::clear()
     positions.mut().clear();
     logScales.mut().clear();
     rotations.mut().clear();
-    opacityLogits.mut().clear();
-    shCoeffs.mut().clear();
+    opacityLogits.clearElems();
+    shCoeffs.clearElems();
     active.mut().clear();
     ids.mut().clear();
 }
@@ -153,9 +133,12 @@ GaussianCloud::clear()
 size_t
 GaussianCloud::parameterBytes() const
 {
-    // pos(12) + logScale(12) + quat(16) + opacity(4) + sh(12) + mask(1)
-    // (the stable-id column is COW bookkeeping, not a model parameter)
-    return size() * (12 + 12 + 16 + 4 + 12 + 1);
+    // Sum the active representations so fp16/bf16 columns report their
+    // halved footprint. (The stable-id column is COW bookkeeping, not a
+    // model parameter.)
+    return positions.byteSize() + logScales.byteSize() +
+           rotations.byteSize() + opacityLogits.byteSize() +
+           shCoeffs.byteSize() + active.byteSize();
 }
 
 size_t

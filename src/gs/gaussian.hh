@@ -19,11 +19,14 @@
 #define RTGS_GS_GAUSSIAN_HH
 
 #include <cstddef>
+#include <cstring>
 #include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/halffloat.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "geometry/quat.hh"
 #include "geometry/vec.hh"
@@ -31,10 +34,62 @@
 namespace rtgs::gs
 {
 
+/**
+ * Storage precision of one CowColumn. Full keeps the native fp32
+ * representation; Half/BFloat16 pack every float lane into 16 bits
+ * (round-to-nearest-even on store, exact widen on load). Only
+ * low-sensitivity columns (colour, opacity — see PipelineConfig) are
+ * ever packed; positions/scales/rotations always stay Full. All
+ * arithmetic everywhere runs in fp32 regardless — precision is a
+ * *storage* property, never an accumulate property.
+ */
+enum class ColumnPrecision : u8
+{
+    Full = 0,
+    Half = 1,
+    BFloat16 = 2,
+};
+
+/** Short name for logs/JSON ("fp32", "fp16", "bf16"). */
+inline const char *
+columnPrecisionName(ColumnPrecision p)
+{
+    switch (p) {
+      case ColumnPrecision::Half:
+        return "fp16";
+      case ColumnPrecision::BFloat16:
+        return "bf16";
+      case ColumnPrecision::Full:
+        break;
+    }
+    return "fp32";
+}
+
 namespace detail
 {
 /** Chunk-parallel buffer copy for large column re-materialisation. */
 void parallelCopyBytes(void *dst, const void *src, size_t bytes);
+
+/**
+ * How many fp32 lanes a column element packs into 16-bit scalars.
+ * count == 0 marks the type non-packable (ids, flags, quaternions);
+ * such columns only ever store at Full precision.
+ */
+template <typename T>
+struct FloatLanes
+{
+    static constexpr size_t count = 0;
+};
+template <>
+struct FloatLanes<float>
+{
+    static constexpr size_t count = 1;
+};
+template <>
+struct FloatLanes<Vec3f>
+{
+    static constexpr size_t count = 3;
+};
 
 /**
  * Allocator whose resize default-initialises instead of zero-filling:
@@ -78,6 +133,15 @@ struct DefaultInitAllocator : std::allocator<T>
  * mutation is as cheap as a plain vector. Concurrent const reads of a
  * shared buffer are safe — re-materialisation only ever *reads* the
  * shared storage.
+ *
+ * Mixed precision: a packable column (float lanes only) may be
+ * switched to 16-bit storage with setPrecision(). A packed column is
+ * addressed exclusively through the precision-agnostic accessors —
+ * load() (widen to T), store() (narrow, RNE), pushBack(),
+ * compactKeep() — while the raw-buffer surface (view()/mut()/
+ * operator[]/data()) asserts Full precision, so no caller can silently
+ * reinterpret packed bits. COW semantics are unchanged: the packed
+ * buffer is shared/unshared exactly like the full one.
  */
 template <typename T>
 class CowColumn
@@ -87,69 +151,281 @@ class CowColumn
 
   public:
     using value_type = T;
+    /** fp32 lanes per element when packed (0 = not packable). */
+    static constexpr size_t kLanes = detail::FloatLanes<T>::count;
     /** Backing container (default-init allocator: resize in unshare()
      *  skips the zero-fill the parallel copy would overwrite). */
     using Storage = std::vector<T, detail::DefaultInitAllocator<T>>;
+    /** 16-bit packed backing container (kLanes u16 per element). */
+    using PackedStorage = std::vector<u16, detail::DefaultInitAllocator<u16>>;
 
     // Default columns alias one shared immutable empty buffer, so
     // default construction and moved-from repair are allocation-free.
     // The static keeps a permanent reference, so any mut() through a
     // column aliasing it sees use_count > 1 and re-materialises — the
-    // sentinel itself is never written.
-    CowColumn() : data_(sharedEmpty()) {}
+    // sentinel itself is never written. The inactive representation
+    // (packed_ while Full, data_ while packed) always aliases its own
+    // empty sentinel so every accessor stays null-safe.
+    CowColumn() : data_(sharedEmpty()), packed_(sharedEmptyPacked()) {}
 
     // Copies share storage (refcount bump); that is the point. Moves
     // are noexcept (so containers of clouds relocate by move) and
-    // leave the source aliasing the empty sentinel — every accessor
-    // relies on data_ being non-null.
+    // leave the source aliasing the empty sentinels — every accessor
+    // relies on the pointers being non-null.
     CowColumn(const CowColumn &) = default;
     CowColumn &operator=(const CowColumn &) = default;
-    CowColumn(CowColumn &&other) noexcept : data_(std::move(other.data_))
+    CowColumn(CowColumn &&other) noexcept
+        : data_(std::move(other.data_)),
+          packed_(std::move(other.packed_)), prec_(other.prec_)
     {
         other.data_ = sharedEmpty();
+        other.packed_ = sharedEmptyPacked();
+        other.prec_ = ColumnPrecision::Full;
     }
     CowColumn &
     operator=(CowColumn &&other) noexcept
     {
         std::swap(data_, other.data_);
+        std::swap(packed_, other.packed_);
+        std::swap(prec_, other.prec_);
         return *this;
     }
 
-    size_t size() const { return data_->size(); }
-    bool empty() const { return data_->empty(); }
-    const T *data() const { return data_->data(); }
-    const T &operator[](size_t i) const { return (*data_)[i]; }
-    typename Storage::const_iterator begin() const
+    size_t
+    size() const
     {
+        return prec_ == ColumnPrecision::Full ? data_->size()
+                                              : packed_->size() / kLanes;
+    }
+    bool empty() const { return size() == 0; }
+    const T *
+    data() const
+    {
+        assertFull();
+        return data_->data();
+    }
+    const T &
+    operator[](size_t i) const
+    {
+        assertFull();
+        return (*data_)[i];
+    }
+    typename Storage::const_iterator
+    begin() const
+    {
+        assertFull();
         return data_->begin();
     }
-    typename Storage::const_iterator end() const
+    typename Storage::const_iterator
+    end() const
     {
+        assertFull();
         return data_->end();
     }
 
-    /** Read-only reference to the underlying vector (hot loops hoist
-     *  this once instead of re-loading the shared pointer per access). */
-    const Storage &view() const { return *data_; }
+    /** Read-only reference to the underlying fp32 vector (hot loops
+     *  hoist this once instead of re-loading the shared pointer per
+     *  access). Full-precision columns only; packed callers load(). */
+    const Storage &
+    view() const
+    {
+        assertFull();
+        return *data_;
+    }
 
     /** Mutable reference; re-materialises if the buffer is shared.
-     *  The ONLY mutation path (no non-const operator[]): writes are
-     *  explicit at the call site, reads can never silently unshare. */
+     *  The ONLY bulk mutation path (no non-const operator[]): writes
+     *  are explicit at the call site, reads can never silently
+     *  unshare. Full-precision columns only. */
     Storage &
     mut()
     {
+        assertFull();
         unshare();
         return *data_;
+    }
+
+    // ---- precision-agnostic element access --------------------------
+
+    /** Element i widened to T (a plain read at Full precision). */
+    T
+    load(size_t i) const
+    {
+        if constexpr (kLanes > 0) {
+            if (prec_ != ColumnPrecision::Full) {
+                float lanes[kLanes];
+                const u16 *src = packed_->data() + i * kLanes;
+                if (prec_ == ColumnPrecision::Half) {
+                    for (size_t l = 0; l < kLanes; ++l)
+                        lanes[l] = halfBitsToFloat(src[l]);
+                } else {
+                    for (size_t l = 0; l < kLanes; ++l)
+                        lanes[l] = bf16BitsToFloat(src[l]);
+                }
+                T v;
+                std::memcpy(&v, lanes, sizeof(T));
+                return v;
+            }
+        }
+        return (*data_)[i];
+    }
+
+    /** Overwrite element i (narrowing RNE when packed). Unshares. */
+    void
+    store(size_t i, const T &v)
+    {
+        if constexpr (kLanes > 0) {
+            if (prec_ != ColumnPrecision::Full) {
+                unsharePacked();
+                encode(prec_, v, packed_->data() + i * kLanes);
+                return;
+            }
+        }
+        unshare();
+        (*data_)[i] = v;
+    }
+
+    /** Append one element at the column's storage precision. */
+    void
+    pushBack(const T &v)
+    {
+        if constexpr (kLanes > 0) {
+            if (prec_ != ColumnPrecision::Full) {
+                unsharePacked();
+                u16 enc[kLanes];
+                encode(prec_, v, enc);
+                packed_->insert(packed_->end(), enc, enc + kLanes);
+                return;
+            }
+        }
+        unshare();
+        data_->push_back(v);
+    }
+
+    /** reserve() at the active representation. */
+    void
+    reserveElems(size_t n)
+    {
+        if (prec_ != ColumnPrecision::Full) {
+            unsharePacked();
+            packed_->reserve(n * kLanes);
+            return;
+        }
+        unshare();
+        data_->reserve(n);
+    }
+
+    /** Remove every element (precision is retained). */
+    void
+    clearElems()
+    {
+        if (prec_ != ColumnPrecision::Full) {
+            unsharePacked();
+            packed_->clear();
+            return;
+        }
+        unshare();
+        data_->clear();
+    }
+
+    /** Two-pointer in-place compaction by keep-mask (keep.size() ==
+     *  size()); works at any storage precision. */
+    void
+    compactKeep(const std::vector<u8> &keep)
+    {
+        if constexpr (kLanes > 0) {
+            if (prec_ != ColumnPrecision::Full) {
+                unsharePacked();
+                PackedStorage &v = *packed_;
+                size_t w = 0;
+                for (size_t r = 0; r < keep.size(); ++r) {
+                    if (!keep[r])
+                        continue;
+                    if (w != r)
+                        std::memcpy(v.data() + w * kLanes,
+                                    v.data() + r * kLanes,
+                                    kLanes * sizeof(u16));
+                    ++w;
+                }
+                v.resize(w * kLanes);
+                return;
+            }
+        }
+        Storage &v = mut();
+        size_t w = 0;
+        for (size_t r = 0; r < keep.size(); ++r) {
+            if (!keep[r])
+                continue;
+            if (w != r)
+                v[w] = v[r];
+            ++w;
+        }
+        v.resize(w);
+    }
+
+    // ---- storage precision ------------------------------------------
+
+    ColumnPrecision precision() const { return prec_; }
+
+    /**
+     * Re-encode the column at precision p (no-op when already there).
+     * Narrowing rounds each fp32 lane to nearest-even; widening back
+     * is exact on the stored bits (the original fp32 values are NOT
+     * recovered — narrowing is lossy by design). Always produces a
+     * fresh unshared buffer; snapshots keep the old representation.
+     */
+    void
+    setPrecision(ColumnPrecision p)
+    {
+        if (p == prec_)
+            return;
+        if constexpr (kLanes == 0) {
+            rtgs_assert(p == ColumnPrecision::Full,
+                        "column element type is not packable");
+            (void)p;
+        } else {
+            const size_t n = size();
+            if (p == ColumnPrecision::Full) {
+                auto fresh = std::make_shared<Storage>();
+                fresh->resize(n);
+                for (size_t i = 0; i < n; ++i)
+                    (*fresh)[i] = load(i);
+                data_ = std::move(fresh);
+                packed_ = sharedEmptyPacked();
+            } else {
+                auto fresh = std::make_shared<PackedStorage>();
+                fresh->resize(n * kLanes);
+                for (size_t i = 0; i < n; ++i)
+                    encode(p, load(i), fresh->data() + i * kLanes);
+                packed_ = std::move(fresh);
+                data_ = sharedEmpty();
+            }
+            prec_ = p;
+        }
+    }
+
+    /** Resident bytes of the active representation. */
+    size_t
+    byteSize() const
+    {
+        return prec_ == ColumnPrecision::Full
+                   ? size() * sizeof(T)
+                   : size() * kLanes * sizeof(u16);
     }
 
     /** True when this column aliases `other`'s buffer (tests/benches). */
     bool shares(const CowColumn &other) const
     {
-        return data_ == other.data_;
+        return data_ == other.data_ && packed_ == other.packed_;
     }
 
-    /** Snapshot holders (including this column) of the buffer. */
-    long useCount() const { return data_.use_count(); }
+    /** Snapshot holders (including this column) of the active buffer. */
+    long
+    useCount() const
+    {
+        return prec_ == ColumnPrecision::Full ? data_.use_count()
+                                              : packed_.use_count();
+    }
 
   private:
     static const std::shared_ptr<Storage> &
@@ -158,6 +434,38 @@ class CowColumn
         static const std::shared_ptr<Storage> empty =
             std::make_shared<Storage>();
         return empty;
+    }
+
+    static const std::shared_ptr<PackedStorage> &
+    sharedEmptyPacked()
+    {
+        static const std::shared_ptr<PackedStorage> empty =
+            std::make_shared<PackedStorage>();
+        return empty;
+    }
+
+    void
+    assertFull() const
+    {
+        rtgs_assert(prec_ == ColumnPrecision::Full,
+                    "raw access to a 16-bit packed column; use load()");
+    }
+
+    /** Narrow one element's fp32 lanes to 16-bit scalars (RNE). */
+    static void
+    encode(ColumnPrecision p, const T &v, u16 *dst)
+    {
+        static_assert(kLanes == 0 || sizeof(T) == kLanes * sizeof(float),
+                      "packable elements must be exactly fp32 lanes");
+        float lanes[kLanes > 0 ? kLanes : 1];
+        std::memcpy(lanes, &v, sizeof(T));
+        if (p == ColumnPrecision::Half) {
+            for (size_t l = 0; l < kLanes; ++l)
+                dst[l] = floatToHalfBits(lanes[l]);
+        } else {
+            for (size_t l = 0; l < kLanes; ++l)
+                dst[l] = floatToBf16Bits(lanes[l]);
+        }
     }
 
     void
@@ -172,7 +480,22 @@ class CowColumn
         data_ = std::move(fresh);
     }
 
+    void
+    unsharePacked()
+    {
+        if (packed_.use_count() <= 1)
+            return;
+        auto fresh = std::make_shared<PackedStorage>();
+        fresh->resize(packed_->size());
+        detail::parallelCopyBytes(fresh->data(), packed_->data(),
+                                  packed_->size() * sizeof(u16));
+        packed_ = std::move(fresh);
+    }
+
     std::shared_ptr<Storage> data_;
+    /** 16-bit representation; active iff prec_ != Full. */
+    std::shared_ptr<PackedStorage> packed_;
+    ColumnPrecision prec_ = ColumnPrecision::Full;
 };
 
 /** Zeroth-order SH basis constant. */
@@ -249,14 +572,15 @@ class GaussianCloud
     /** Remove all Gaussians. */
     void clear();
 
-    /** Activated opacity of Gaussian k. */
-    Real opacity(size_t k) const { return sigmoid(opacityLogits[k]); }
+    /** Activated opacity of Gaussian k (widens packed storage). */
+    Real opacity(size_t k) const { return sigmoid(opacityLogits.load(k)); }
 
-    /** Activated (clamped) RGB colour of Gaussian k. */
+    /** Activated (clamped) RGB colour of Gaussian k (widens packed
+     *  storage). */
     Vec3f
     color(size_t k) const
     {
-        Vec3f c = shCoeffs[k] * shC0 + Vec3f{0.5f, 0.5f, 0.5f};
+        Vec3f c = shCoeffs.load(k) * shC0 + Vec3f{0.5f, 0.5f, 0.5f};
         return {std::max(Real(0), c.x), std::max(Real(0), c.y),
                 std::max(Real(0), c.z)};
     }

@@ -1,0 +1,57 @@
+#include "gs/pipeline_config.hh"
+
+#include <cstring>
+
+namespace rtgs::gs
+{
+
+const char *
+pipelinePresetName(PipelinePreset preset)
+{
+    switch (preset) {
+      case PipelinePreset::Fast:
+        return "fast";
+      case PipelinePreset::FastestApprox:
+        return "fastest_approx";
+      case PipelinePreset::Precise:
+        break;
+    }
+    return "precise";
+}
+
+bool
+pipelinePresetFromName(const char *name, PipelinePreset &out)
+{
+    if (name == nullptr)
+        return false;
+    if (std::strcmp(name, "precise") == 0) {
+        out = PipelinePreset::Precise;
+        return true;
+    }
+    if (std::strcmp(name, "fast") == 0) {
+        out = PipelinePreset::Fast;
+        return true;
+    }
+    if (std::strcmp(name, "fastest_approx") == 0) {
+        out = PipelinePreset::FastestApprox;
+        return true;
+    }
+    return false;
+}
+
+ColumnPrecision
+presetStoragePrecision(PipelinePreset preset)
+{
+    return preset == PipelinePreset::FastestApprox ? ColumnPrecision::Half
+                                                   : ColumnPrecision::Full;
+}
+
+void
+applyStoragePrecision(GaussianCloud &cloud, const PipelineConfig &config)
+{
+    const ColumnPrecision p = presetStoragePrecision(config.preset);
+    cloud.shCoeffs.setPrecision(p);
+    cloud.opacityLogits.setPrecision(p);
+}
+
+} // namespace rtgs::gs

@@ -84,13 +84,16 @@ projectGaussians(const GaussianCloud &cloud, const Camera &camera,
     const Real inf = std::numeric_limits<Real>::infinity();
 
     // Hoist the COW column views once; the loop then reads plain
-    // vectors (no per-access shared-pointer indirection).
+    // vectors (no per-access shared-pointer indirection). Colour and
+    // opacity may be stored packed (fp16/bf16), so those two go through
+    // load() — the widen-on-load boundary of the mixed-precision
+    // contract: everything downstream of here is fp32.
     const auto &active = cloud.active.view();
     const auto &positions = cloud.positions.view();
     const auto &rotations = cloud.rotations.view();
     const auto &log_scales = cloud.logScales.view();
-    const auto &sh_coeffs = cloud.shCoeffs.view();
-    const auto &opacity_logits = cloud.opacityLogits.view();
+    const auto &sh_coeffs = cloud.shCoeffs;
+    const auto &opacity_logits = cloud.opacityLogits;
 
     // Each Gaussian writes only its own AoS record and SoA slots, so the
     // loop is embarrassingly parallel and deterministic.
@@ -153,9 +156,9 @@ projectGaussians(const GaussianCloud &cloud, const Camera &camera,
             p.depth = t.z;
             p.cov2d = cov2d;
             p.conic = cov_blur.inverse();
-            p.opacity = sigmoid(opacity_logits[k]);
+            p.opacity = sigmoid(opacity_logits.load(k));
 
-            Vec3f raw = sh_coeffs[k] * shC0 + Vec3f{0.5f, 0.5f, 0.5f};
+            Vec3f raw = sh_coeffs.load(k) * shC0 + Vec3f{0.5f, 0.5f, 0.5f};
             p.color = {std::max(Real(0), raw.x), std::max(Real(0), raw.y),
                        std::max(Real(0), raw.z)};
             p.colorClampMask = {raw.x > 0 ? Real(1) : Real(0),

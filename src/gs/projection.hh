@@ -12,6 +12,7 @@
 
 #include "geometry/camera.hh"
 #include "gs/gaussian.hh"
+#include "gs/pipeline_config.hh"
 
 namespace rtgs::gs
 {
@@ -35,6 +36,13 @@ struct RenderSettings
     Vec3f background{0, 0, 0};
     /** Splat radius in standard deviations. */
     Real radiusSigma = Real(3);
+    /**
+     * Approximation-ladder rung: selects the forward/backward row
+     * kernels (scalar exact vs SIMD exact/approx exp). Storage
+     * precision is the cloud's side of the same preset — see
+     * applyStoragePrecision().
+     */
+    PipelineConfig pipeline;
 };
 
 /** A projected (2D) Gaussian: the per-Gaussian outputs of Step 1. */

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "gs/row_kernels.hh"
+
 namespace rtgs::gs
 {
 
@@ -96,29 +98,30 @@ rasterizeTile(u32 tile, const ProjectedCloud &projected,
     // the depth-ordered stream once and touching only the pixels inside
     // each splat's sub-alphaMin cutoff ellipse skips the fragments the
     // pixel-major loop rejects one by one; blend order per pixel (and
-    // hence the image) is unchanged. ~8 KB of state for a 16x16 tile,
-    // comfortably L1-resident.
+    // hence the image) is unchanged. The state is SoA (~8 KB for a
+    // 16x16 tile, comfortably L1-resident) so the AVX2 rungs load 8
+    // contiguous lanes per field; the per-pixel arithmetic itself lives
+    // in the preset-selected row kernel (gs/row_kernels.hh) — the
+    // `precise` rung's scalar kernel replicates the pre-ladder loop
+    // operation for operation, so this driver is layout-neutral.
     const u32 tw = x1 - x0, th = y1 - y0;
     const u32 n_px = tw * th;
-    constexpr u32 kNotTerminated = 0xFFFFFFFFu;
-    struct PixState
-    {
-        Real T, r, g, b, d;
-        u32 blended, term;
-        u32 pad_; // 32-byte stride: two states per cache line
-    };
-    static thread_local std::vector<PixState> state;
-    state.assign(n_px,
-                 PixState{Real(1), 0, 0, 0, 0, 0, kNotTerminated, 0});
+    static thread_local std::vector<Real> st_T, st_r, st_g, st_b, st_d;
+    static thread_local std::vector<u32> st_blend, st_term;
+    st_T.assign(n_px, Real(1));
+    st_r.assign(n_px, Real(0));
+    st_g.assign(n_px, Real(0));
+    st_b.assign(n_px, Real(0));
+    st_d.assign(n_px, Real(0));
+    st_blend.assign(n_px, 0);
+    st_term.assign(n_px, kRowNotTerminated);
     u32 alive = n_px;
 
-    // Per-row exponent buffer. Powers are independent across pixels, so
-    // this loop vectorises; each lane runs the exact scalar op sequence
-    // (convert, +0.5, subtract, quadForm, *-0.5 — no FMA on baseline
-    // x86-64), so the values are bit-identical to the reference's.
-    static thread_local std::vector<Real> power_buf;
-    power_buf.resize(tw);
-    Real *power_row = power_buf.data();
+    static thread_local std::vector<Real> scratch;
+    scratch.resize(2 * static_cast<size_t>(tw));
+
+    const RowKernels &kern = selectRowKernels(settings.pipeline);
+    const RowKernelCtx ctx{alpha_min, alpha_max, t_eps};
 
     for (u32 s = 0; s < n_splats && alive > 0; ++s) {
         const HotSplat &g = splats[s];
@@ -127,63 +130,37 @@ rasterizeTile(u32 tile, const ProjectedCloud &projected,
         if (!cutoffEllipseBounds(g, x0, y0, x1, y1, sx0, sy0, sx1, sy1))
             continue; // whole splat below alphaMin everywhere
 
-        const Real skip = g.powerSkip;
+        const u32 w_row = sx1 - sx0;
         for (u32 py = sy0; py < sy1; ++py) {
             const Real dy =
                 (static_cast<Real>(py) + Real(0.5)) - g.my;
-            const u32 w_row = sx1 - sx0;
-            evalPowerRow(g, dy, sx0, w_row, power_row, nullptr);
-
-            PixState *row_state =
-                state.data() + (py - y0) * tw + (sx0 - x0);
-            for (u32 i = 0; i < w_row; ++i) {
-                Real power = power_row[i];
-                if (power > 0)
-                    continue;
-                if (power < skip)
-                    continue;
-                PixState &st = row_state[i];
-                Real T = st.T;
-                if (T < t_eps)
-                    continue; // terminated earlier in the stream
-                Real alpha = std::min(alpha_max,
-                                      g.opacity * std::exp(power));
-                if (alpha < alpha_min)
-                    continue;
-
-                Real t_next = T * (1 - alpha);
-                // Early termination preserves compositing order
-                // (Sec 2.1).
-                Real w = alpha * T;
-                st.r += g.r * w;
-                st.g += g.g * w;
-                st.b += g.b * w;
-                st.d += g.depth * w;
-                ++st.blended;
-                st.T = t_next;
-                if (t_next < t_eps) {
-                    st.term = s;
-                    --alive;
-                }
-            }
+            const size_t off = (py - y0) * tw + (sx0 - x0);
+            const ForwardRowState px{
+                st_T.data() + off,   st_r.data() + off,
+                st_g.data() + off,   st_b.data() + off,
+                st_d.data() + off,   st_blend.data() + off,
+                st_term.data() + off};
+            alive -= kern.forwardRow(g, dy, sx0, w_row, s, ctx, px,
+                                     scratch.data());
         }
     }
 
     for (u32 py = y0; py < y1; ++py) {
         for (u32 px = x0; px < x1; ++px) {
-            const PixState &st = state[(py - y0) * tw + (px - x0)];
-            Vec3f color{st.r, st.g, st.b};
-            color += settings.background * st.T;
+            const size_t i = (py - y0) * tw + (px - x0);
+            const Real T = st_T[i];
+            Vec3f color{st_r[i], st_g[i], st_b[i]};
+            color += settings.background * T;
             result.image.at(px, py) = color;
-            result.depth.at(px, py) = st.d;
-            result.alpha.at(px, py) = 1 - st.T;
-            result.finalT.at(px, py) = st.T;
+            result.depth.at(px, py) = st_d[i];
+            result.alpha.at(px, py) = 1 - T;
+            result.finalT.at(px, py) = T;
             // A pixel that terminated at stream position s examined
             // s + 1 fragments; everyone else walked the whole bin.
-            result.nContrib.at(px, py) = st.term != kNotTerminated
-                                             ? st.term + 1
+            result.nContrib.at(px, py) = st_term[i] != kRowNotTerminated
+                                             ? st_term[i] + 1
                                              : n_splats;
-            result.nBlended.at(px, py) = st.blended;
+            result.nBlended.at(px, py) = st_blend[i];
         }
     }
 }

@@ -108,7 +108,14 @@ SlamSystem::SlamSystem(const SlamConfig &config,
 
     gs::RenderSettings settings;
     settings.background = {0.03f, 0.03f, 0.05f};
+    settings.pipeline = config.pipeline;
     pipeline_ = gs::RenderPipeline(settings);
+
+    // The preset's storage side: narrow the low-sensitivity columns of
+    // the authoritative cloud. Every COW snapshot / tracking clone
+    // copies the column (and its precision) wholesale, so this single
+    // application covers the whole system's storage.
+    gs::applyStoragePrecision(cloud_, config.pipeline);
 
     switch (config.algorithm) {
       case BaseAlgorithm::GsSlam:

@@ -122,6 +122,17 @@ struct SlamConfig
      */
     HealthConfig health;
 
+    /**
+     * Approximation-ladder rung (gs::PipelinePreset). `precise` (the
+     * default) keeps today's byte-exact scalar pipeline; `fast`
+     * dispatches the SIMD row kernels with a faithfully-rounded exp;
+     * `fastest_approx` adds the polynomial exp and stores the cloud's
+     * colour/opacity columns as fp16. Applied to the render pipeline
+     * and the authoritative cloud at construction; COW snapshots and
+     * tracking clones inherit the storage precision automatically.
+     */
+    gs::PipelineConfig pipeline;
+
     /** Build the per-profile default configuration. */
     static SlamConfig forAlgorithm(BaseAlgorithm algo);
 };

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Contract tests for the approximate-computing ladder (ISSUE 7):
+ *
+ *  - the `precise` rung is BITWISE identical to the serial reference
+ *    forward pass (the strongest cross-implementation check the repo
+ *    has: two independent loop structures, one bit pattern);
+ *  - the approx exp honours its <= 16 ulp bound and the faithful exp
+ *    its <= 1 ulp bound over the live power range, on whatever path
+ *    the process dispatches to (AVX2 or scalar);
+ *  - fp16/bf16 column round-trips stay within half-ulp-of-format
+ *    bounds, and the packed CowColumn keeps COW semantics;
+ *  - every rung is bitwise deterministic across 1/2/4 render workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/cpu_features.hh"
+#include "common/halffloat.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "gs/reference.hh"
+#include "gs/render_pipeline.hh"
+#include "gs/row_kernels.hh"
+
+namespace rtgs::gs
+{
+
+namespace
+{
+
+/** Randomised cloud + camera (same flavour as the equivalence sweeps). */
+struct SimdScene
+{
+    GaussianCloud cloud;
+    Camera camera;
+
+    explicit SimdScene(u64 seed, size_t count = 80)
+    {
+        Rng rng(seed);
+        for (size_t i = 0; i < count; ++i) {
+            Vec3f pos{static_cast<Real>(rng.uniform(-1.2, 1.2)),
+                      static_cast<Real>(rng.uniform(-0.9, 0.9)),
+                      static_cast<Real>(rng.uniform(1.2, 5.0))};
+            Real scale = static_cast<Real>(rng.uniform(0.04, 0.4));
+            Real opacity = static_cast<Real>(rng.uniform(0.05, 0.95));
+            Vec3f rgb{static_cast<Real>(rng.uniform(0.05, 0.95)),
+                      static_cast<Real>(rng.uniform(0.05, 0.95)),
+                      static_cast<Real>(rng.uniform(0.05, 0.95))};
+            cloud.pushIsotropic(pos, scale, opacity, rgb);
+            if (i % 2 == 0) {
+                cloud.logScales.mut()[i].x +=
+                    static_cast<Real>(rng.uniform(-0.8, 0.8));
+                cloud.rotations.mut()[i] = Quatf::fromAxisAngle(
+                    {static_cast<Real>(rng.normal()),
+                     static_cast<Real>(rng.normal()),
+                     static_cast<Real>(rng.normal())},
+                    static_cast<Real>(rng.uniform(0, 3)));
+            }
+        }
+        camera = Camera(Intrinsics::fromFov(Real(1.2), 144, 112),
+                        SE3::lookAt(
+                            {static_cast<Real>(rng.uniform(-0.3, 0.3)),
+                             static_cast<Real>(rng.uniform(-0.3, 0.3)),
+                             static_cast<Real>(rng.uniform(-0.5, 0.0))},
+                            {0, 0, 3}));
+    }
+};
+
+/** ulp distance between two floats of the same sign regime. */
+u32
+ulpDiff(float a, float b)
+{
+    i32 ia, ib;
+    std::memcpy(&ia, &a, 4);
+    std::memcpy(&ib, &b, 4);
+    // Map to a monotonic integer line (both values positive here).
+    i64 d = static_cast<i64>(ia) - static_cast<i64>(ib);
+    return static_cast<u32>(d < 0 ? -d : d);
+}
+
+/** Bitwise image compare. */
+bool
+bitIdentical(const ImageRGB &a, const ImageRGB &b)
+{
+    return a.pixelCount() == b.pixelCount() &&
+           std::memcmp(a.data(), b.data(),
+                       a.pixelCount() * sizeof(Vec3f)) == 0;
+}
+
+ForwardContext
+renderWith(const SimdScene &scene, PipelinePreset preset,
+           ThreadPool *pool)
+{
+    RenderSettings settings;
+    settings.background = {0.1f, 0.2f, 0.3f};
+    settings.pipeline.preset = preset;
+    RenderPipeline pipe(settings);
+    if (pool)
+        pipe.setPool(pool);
+    GaussianCloud cloud = scene.cloud;
+    applyStoragePrecision(cloud, settings.pipeline);
+    return pipe.forward(cloud, scene.camera);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// precise rung: bitwise identity vs the serial reference
+// ---------------------------------------------------------------------
+
+class SimdPrecise : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(SimdPrecise, BitwiseMatchesSerialReference)
+{
+    SimdScene scene(GetParam());
+    RenderSettings settings;
+    settings.background = {0.1f, 0.2f, 0.3f};
+    settings.pipeline.preset = PipelinePreset::Precise;
+
+    ReferenceForward ref =
+        forwardReference(scene.cloud, scene.camera, settings);
+    RenderPipeline pipe(settings);
+    ForwardContext ctx = pipe.forward(scene.cloud, scene.camera);
+
+    ASSERT_EQ(ref.result.image.pixelCount(),
+              ctx.result.image.pixelCount());
+    EXPECT_TRUE(bitIdentical(ref.result.image, ctx.result.image));
+    for (size_t i = 0; i < ref.result.image.pixelCount(); ++i) {
+        ASSERT_EQ(ref.result.depth[i], ctx.result.depth[i]);
+        ASSERT_EQ(ref.result.finalT[i], ctx.result.finalT[i]);
+        ASSERT_EQ(ref.result.nContrib[i], ctx.result.nContrib[i]);
+        ASSERT_EQ(ref.result.nBlended[i], ctx.result.nBlended[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdPrecise,
+                         ::testing::Values(3u, 17u, 88u, 2026u));
+
+// ---------------------------------------------------------------------
+// exp contracts over the live power range
+// ---------------------------------------------------------------------
+
+TEST(SimdExp, ApproxWithinSixteenUlpOverLiveRange)
+{
+    // The live range: powerSkip >= ln(alphaMin / opacity) - 1e-3 with
+    // alphaMin = 1/255 and opacity <= 1, so power in (-5.6, 0].
+    constexpr size_t kN = 20000;
+    std::vector<Real> x(kN), y(kN);
+    for (size_t i = 0; i < kN; ++i)
+        x[i] = Real(-5.6) * static_cast<Real>(i) /
+               static_cast<Real>(kN - 1);
+    expApproxBatch(x.data(), y.data(), kN);
+    u32 max_ulp = 0;
+    for (size_t i = 0; i < kN; ++i) {
+        float exact = std::exp(x[i]);
+        max_ulp = std::max(max_ulp, ulpDiff(y[i], exact));
+    }
+    EXPECT_LE(max_ulp, 16u) << "approx exp out of contract";
+    // The scalar twin honours the same bound independently of dispatch.
+    max_ulp = 0;
+    for (size_t i = 0; i < kN; ++i)
+        max_ulp =
+            std::max(max_ulp, ulpDiff(expApproxScalar(x[i]),
+                                      std::exp(x[i])));
+    EXPECT_LE(max_ulp, 16u) << "scalar approx twin out of contract";
+}
+
+TEST(SimdExp, FaithfulWithinOneUlpOverLiveRange)
+{
+    constexpr size_t kN = 20000;
+    std::vector<Real> x(kN), y(kN);
+    for (size_t i = 0; i < kN; ++i)
+        x[i] = Real(-5.6) * static_cast<Real>(i) /
+               static_cast<Real>(kN - 1);
+    expFaithfulBatch(x.data(), y.data(), kN);
+    u32 max_ulp = 0;
+    for (size_t i = 0; i < kN; ++i)
+        max_ulp = std::max(max_ulp, ulpDiff(y[i], std::exp(x[i])));
+    EXPECT_LE(max_ulp, 1u) << "faithful exp out of contract";
+}
+
+// ---------------------------------------------------------------------
+// fp16 / bf16 conversions and packed-column semantics
+// ---------------------------------------------------------------------
+
+TEST(HalfFloat, RoundTripBoundsFp16)
+{
+    Rng rng(7);
+    // Half-precision RNE: relative error <= 2^-11 for normal range.
+    for (int i = 0; i < 20000; ++i) {
+        float v = static_cast<float>(rng.uniform(-64.0, 64.0));
+        float r = halfBitsToFloat(floatToHalfBits(v));
+        EXPECT_LE(std::abs(r - v),
+                  std::abs(v) * (1.0f / 2048) + 1e-6f)
+            << "v=" << v;
+    }
+    // Specials.
+    EXPECT_EQ(halfBitsToFloat(floatToHalfBits(0.0f)), 0.0f);
+    EXPECT_TRUE(std::isinf(halfBitsToFloat(floatToHalfBits(1e6f))));
+    EXPECT_TRUE(std::isnan(halfBitsToFloat(floatToHalfBits(NAN))));
+    // Exact values survive exactly.
+    for (float v : {1.0f, -2.5f, 0.125f, 1024.0f})
+        EXPECT_EQ(halfBitsToFloat(floatToHalfBits(v)), v);
+}
+
+TEST(HalfFloat, RoundTripBoundsBf16)
+{
+    Rng rng(9);
+    // bf16 RNE: relative error <= 2^-8.
+    for (int i = 0; i < 20000; ++i) {
+        float v = static_cast<float>(rng.uniform(-1e4, 1e4));
+        float r = bf16BitsToFloat(floatToBf16Bits(v));
+        EXPECT_LE(std::abs(r - v), std::abs(v) * (1.0f / 256) + 1e-30f)
+            << "v=" << v;
+    }
+    EXPECT_TRUE(std::isnan(bf16BitsToFloat(floatToBf16Bits(NAN))));
+}
+
+TEST(PackedColumn, LoadStoreAndCowSemantics)
+{
+    GaussianCloud cloud;
+    for (int i = 0; i < 10; ++i) {
+        cloud.pushIsotropic({Real(i) * 0.1f, 0, 2}, 0.2f, 0.5f,
+                            {0.3f, 0.6f, 0.9f});
+    }
+    const Vec3f sh0 = cloud.shCoeffs.load(0);
+    cloud.shCoeffs.setPrecision(ColumnPrecision::Half);
+    cloud.opacityLogits.setPrecision(ColumnPrecision::Half);
+    EXPECT_EQ(cloud.shCoeffs.precision(), ColumnPrecision::Half);
+    EXPECT_EQ(cloud.shCoeffs.size(), 10u);
+    // Narrowing error bounded by the fp16 contract.
+    Vec3f got = cloud.shCoeffs.load(0);
+    for (int c = 0; c < 3; ++c)
+        EXPECT_NEAR(got[c], sh0[c], std::abs(sh0[c]) / 2048 + 1e-6f);
+    // Packed byte footprint is half the fp32 one.
+    EXPECT_EQ(cloud.shCoeffs.byteSize(), 10 * 3 * sizeof(u16));
+
+    // COW: a copy shares; store() on the copy unshares only the copy.
+    GaussianCloud snap = cloud;
+    EXPECT_TRUE(snap.shCoeffs.shares(cloud.shCoeffs));
+    snap.shCoeffs.store(3, {1, 2, 3});
+    EXPECT_FALSE(snap.shCoeffs.shares(cloud.shCoeffs));
+    EXPECT_NEAR(snap.shCoeffs.load(3).y, 2.0f, 2.0f / 2048);
+    EXPECT_NE(cloud.shCoeffs.load(3).y, snap.shCoeffs.load(3).y);
+
+    // pushBack / compactKeep on the packed representation.
+    snap.pushIsotropic({0, 0, 3}, 0.2f, 0.4f, {0.1f, 0.2f, 0.3f});
+    EXPECT_EQ(snap.shCoeffs.size(), 11u);
+    std::vector<u8> keep(11, 1);
+    keep[0] = 0;
+    keep[5] = 0;
+    snap.compact(keep);
+    EXPECT_EQ(snap.size(), 9u);
+    EXPECT_EQ(snap.shCoeffs.size(), 9u);
+
+    // Round-trip back to fp32 restores raw access.
+    snap.shCoeffs.setPrecision(ColumnPrecision::Full);
+    EXPECT_EQ(snap.shCoeffs.precision(), ColumnPrecision::Full);
+    (void)snap.shCoeffs.view();
+
+    // bf16 flavour widens exactly (truncated fp32).
+    CowColumn<Real> col;
+    col.pushBack(1.5f);
+    col.setPrecision(ColumnPrecision::BFloat16);
+    EXPECT_EQ(col.load(0), 1.5f);
+}
+
+// ---------------------------------------------------------------------
+// worker-count determinism of every rung
+// ---------------------------------------------------------------------
+
+class SimdDeterminism
+    : public ::testing::TestWithParam<PipelinePreset>
+{
+};
+
+TEST_P(SimdDeterminism, BitwiseAcrossWorkerCounts)
+{
+    SimdScene scene(42);
+    ThreadPool one(1), two(2), four(4);
+    ForwardContext a = renderWith(scene, GetParam(), &one);
+    ForwardContext b = renderWith(scene, GetParam(), &two);
+    ForwardContext c = renderWith(scene, GetParam(), &four);
+    EXPECT_TRUE(bitIdentical(a.result.image, b.result.image));
+    EXPECT_TRUE(bitIdentical(a.result.image, c.result.image));
+    for (size_t i = 0; i < a.result.image.pixelCount(); ++i) {
+        ASSERT_EQ(a.result.finalT[i], b.result.finalT[i]);
+        ASSERT_EQ(a.result.finalT[i], c.result.finalT[i]);
+        ASSERT_EQ(a.result.nContrib[i], c.result.nContrib[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rungs, SimdDeterminism,
+    ::testing::Values(PipelinePreset::Precise, PipelinePreset::Fast,
+                      PipelinePreset::FastestApprox),
+    [](const ::testing::TestParamInfo<PipelinePreset> &info) {
+        return std::string(pipelinePresetName(info.param)) ==
+                       "fastest_approx"
+                   ? "fastest_approx"
+                   : pipelinePresetName(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// rung sanity: the fast rungs stay close to precise
+// ---------------------------------------------------------------------
+
+TEST(SimdLadder, FastRungsTrackPrecise)
+{
+    SimdScene scene(11);
+    ForwardContext precise =
+        renderWith(scene, PipelinePreset::Precise, nullptr);
+    ForwardContext fast =
+        renderWith(scene, PipelinePreset::Fast, nullptr);
+    ForwardContext approx =
+        renderWith(scene, PipelinePreset::FastestApprox, nullptr);
+
+    double max_fast = 0, max_approx = 0;
+    for (size_t i = 0; i < precise.result.image.pixelCount(); ++i) {
+        for (int c = 0; c < 3; ++c) {
+            max_fast = std::max(
+                max_fast,
+                std::abs(double(fast.result.image[i][c]) -
+                         double(precise.result.image[i][c])));
+            max_approx = std::max(
+                max_approx,
+                std::abs(double(approx.result.image[i][c]) -
+                         double(precise.result.image[i][c])));
+        }
+    }
+    // `fast` only reassociates fp32 blending (exp faithful): tiny.
+    EXPECT_LE(max_fast, 1e-4);
+    // `fastest_approx` adds ~2e-7 exp error and fp16 colour/opacity
+    // storage (relative 2^-11): still visually lossless territory.
+    EXPECT_LE(max_approx, 2e-2);
+    SUCCEED() << "dispatch level: "
+              << simdLevelName(activeSimdLevel());
+}
+
+} // namespace rtgs::gs

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated bench JSON against the committed one.
+
+Usage:
+    tools/bench_diff.py COMMITTED_JSON FRESH_JSON
+
+The committed file records the perf trajectory the repo promises;
+this script fails (exit 1) when the fresh run regresses it:
+
+  * speedup-type fields (``*speedup*``) may not fall below
+    ``committed / 1.15`` — a >15% relative wall-clock regression of
+    the ratio the field tracks;
+  * quality-type fields (error bounds, diffs against ground truth)
+    may not *grow* beyond ``committed * 1.15 + eps`` — approximation
+    error is part of the contract, not a tunable;
+  * boolean gates recorded as ``true`` in the committed file must
+    still be ``true``.
+
+Absolute millisecond fields are reported for context but never
+gated: they measure the host, not the code. Fields present in only
+one file are reported as informational (the committed file is
+allowed to lag a PR that adds new fields).
+"""
+
+import json
+import sys
+
+# Fields measuring absolute host speed: report, never gate.
+ABSOLUTE_HINTS = ("_ms", "_s", "wall", "cpu")
+# Quality fields: smaller (or equal) is better, growth is a regression.
+QUALITY_KEYS = {
+    "max_abs_channel_diff",
+    "backward_max_rel_grad_diff",
+    "backward_seed_vs_f64_truth",
+    "backward_rtgs_vs_f64_truth",
+    "fastest_approx_psnr_drop_db",
+}
+# Relative slack on gated comparisons (15%, per the CI contract), plus
+# an absolute epsilon so zero-valued quality fields tolerate noise.
+SLACK = 1.15
+EPS = 1e-9
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def is_speedup(key):
+    return "speedup" in key
+
+
+def is_quality(key):
+    return key in QUALITY_KEYS
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2].strip())
+        return 2
+    committed = load(argv[1])
+    fresh = load(argv[2])
+
+    failures = []
+    notes = []
+
+    for key, old in sorted(committed.items()):
+        if key not in fresh:
+            notes.append(f"  - {key}: only in committed file")
+            continue
+        new = fresh[key]
+        if isinstance(old, bool):
+            if old and not new:
+                failures.append(f"{key}: was true, now false")
+            continue
+        if not isinstance(old, (int, float)) or isinstance(old, bool):
+            if old != new:
+                notes.append(f"  ~ {key}: {old!r} -> {new!r}")
+            continue
+        if is_speedup(key):
+            floor = old / SLACK
+            marker = "FAIL" if new < floor else "ok"
+            line = f"{key}: {old:.3f} -> {new:.3f} (floor {floor:.3f})"
+            if new < floor:
+                failures.append(line)
+            else:
+                notes.append(f"  {marker}  {line}")
+        elif is_quality(key):
+            ceil = old * SLACK + EPS
+            line = f"{key}: {old:.3g} -> {new:.3g} (ceil {ceil:.3g})"
+            if new > ceil:
+                failures.append(line)
+            else:
+                notes.append(f"  ok  {line}")
+        elif any(h in key for h in ABSOLUTE_HINTS):
+            notes.append(f"  info  {key}: {old} -> {new} (not gated)")
+        else:
+            notes.append(f"  info  {key}: {old} -> {new}")
+
+    for key in sorted(set(fresh) - set(committed)):
+        notes.append(f"  + {key}: new field {fresh[key]!r}")
+
+    print(f"bench_diff: {argv[1]} vs {argv[2]}")
+    for n in notes:
+        print(n)
+    if failures:
+        print("\nREGRESSIONS:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
