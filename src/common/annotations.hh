@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotation macros.
+ *
+ * Wraps Clang's `-Wthread-safety` attributes so the concurrency
+ * contracts documented throughout src/ (which mutex guards which field,
+ * which helper requires which lock) are machine-checked instead of
+ * remembered. Under Clang every macro expands to the corresponding
+ * `__attribute__`; under GCC and other compilers they expand to nothing,
+ * so the annotated code builds everywhere while the dedicated CI shard
+ * (`clang++ -Werror=thread-safety`) enforces the contracts.
+ *
+ * The annotations attach to the capability wrappers in
+ * common/mutex.hh (`Mutex`, `MutexLock`, `CvLock`, `ThreadAffinity`);
+ * see docs/STATIC_ANALYSIS.md for the project conventions.
+ */
+
+#ifndef RTGS_COMMON_ANNOTATIONS_HH
+#define RTGS_COMMON_ANNOTATIONS_HH
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define RTGS_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef RTGS_THREAD_ANNOTATION_
+#define RTGS_THREAD_ANNOTATION_(x) // no-op off Clang
+#endif
+
+/** Marks a type as a capability (lockable resource or thread role). */
+#define RTGS_CAPABILITY(x) RTGS_THREAD_ANNOTATION_(capability(x))
+
+/** Marks an RAII type whose lifetime acquires/releases a capability. */
+#define RTGS_SCOPED_CAPABILITY RTGS_THREAD_ANNOTATION_(scoped_lockable)
+
+/** Field may only be read/written while holding capability `x`. */
+#define RTGS_GUARDED_BY(x) RTGS_THREAD_ANNOTATION_(guarded_by(x))
+
+/** Pointed-to data may only be accessed while holding capability `x`. */
+#define RTGS_PT_GUARDED_BY(x) RTGS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/** Function requires the listed capabilities to be held on entry. */
+#define RTGS_REQUIRES(...) \
+    RTGS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/** Function requires the listed capabilities held shared on entry. */
+#define RTGS_REQUIRES_SHARED(...) \
+    RTGS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (held on return). */
+#define RTGS_ACQUIRE(...) \
+    RTGS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities (must be held on entry). */
+#define RTGS_RELEASE(...) \
+    RTGS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns `cond`. */
+#define RTGS_TRY_ACQUIRE(cond, ...) \
+    RTGS_THREAD_ANNOTATION_(try_acquire_capability(cond, __VA_ARGS__))
+
+/** Function must NOT be called with the listed capabilities held. */
+#define RTGS_EXCLUDES(...) \
+    RTGS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/**
+ * Function asserts (with a runtime check) that the capability is held;
+ * the analysis assumes it afterwards. Used by ThreadAffinity.
+ */
+#define RTGS_ASSERT_CAPABILITY(x) \
+    RTGS_THREAD_ANNOTATION_(assert_capability(x))
+
+/** Function returns a reference to the named capability. */
+#define RTGS_RETURN_CAPABILITY(x) RTGS_THREAD_ANNOTATION_(lock_returned(x))
+
+/**
+ * Disables the analysis for one function. Every use in this codebase
+ * must carry a comment justifying why the access is safe (typically
+ * phase confinement the analysis cannot see: sync mode has exactly one
+ * thread, or the caller quiesced the workers via waitForMapping()).
+ */
+#define RTGS_NO_THREAD_SAFETY_ANALYSIS \
+    RTGS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif // RTGS_COMMON_ANNOTATIONS_HH

@@ -11,6 +11,10 @@
  * asynchronous mapper. The non-blocking variants (tryPush, tryPushFor,
  * pushEvictingOldest) support the MapWorker's overflow policies:
  * watchdog-bounded blocking and drop-oldest-with-accounting.
+ *
+ * Lock discipline is Clang-checked: every field is RTGS_GUARDED_BY the
+ * queue mutex, and the condition-variable waits are explicit predicate
+ * loops so the guarded reads stay visible to the analysis.
  */
 
 #ifndef RTGS_COMMON_BOUNDED_QUEUE_HH
@@ -20,9 +24,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/annotations.hh"
+#include "common/mutex.hh"
 
 namespace rtgs
 {
@@ -47,10 +53,9 @@ class BoundedQueue
     bool
     push(T value)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        notFull_.wait(lock, [this] {
-            return closed_ || items_.size() < capacity_;
-        });
+        CvLock lock(mutex_);
+        while (!closed_ && items_.size() >= capacity_)
+            lock.wait(notFull_);
         if (closed_)
             return false;
         items_.push_back(std::move(value));
@@ -67,7 +72,7 @@ class BoundedQueue
     bool
     tryPush(T &value)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        CvLock lock(mutex_);
         if (closed_ || items_.size() >= capacity_)
             return false;
         items_.push_back(std::move(value));
@@ -88,11 +93,15 @@ class BoundedQueue
     tryPushFor(T &value,
                const std::chrono::duration<Rep, Period> &timeout)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        if (!notFull_.wait_for(lock, timeout, [this] {
-                return closed_ || items_.size() < capacity_;
-            })) {
-            return false;
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
+        CvLock lock(mutex_);
+        while (!closed_ && items_.size() >= capacity_) {
+            if (lock.waitUntil(notFull_, deadline) ==
+                std::cv_status::timeout) {
+                if (!closed_ && items_.size() >= capacity_)
+                    return false;
+                break;
+            }
         }
         if (closed_)
             return false;
@@ -112,7 +121,7 @@ class BoundedQueue
     bool
     pushEvictingOldest(T value, std::optional<T> &evicted)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        CvLock lock(mutex_);
         if (closed_)
             return false;
         if (items_.size() >= capacity_) {
@@ -132,8 +141,9 @@ class BoundedQueue
     bool
     pop(T &out)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        notEmpty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        CvLock lock(mutex_);
+        while (!closed_ && items_.empty())
+            lock.wait(notEmpty_);
         if (items_.empty())
             return false;
         out = std::move(items_.front());
@@ -147,7 +157,7 @@ class BoundedQueue
     bool
     tryPop(T &out)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        CvLock lock(mutex_);
         if (items_.empty())
             return false;
         out = std::move(items_.front());
@@ -162,7 +172,7 @@ class BoundedQueue
     close()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             closed_ = true;
         }
         notFull_.notify_all();
@@ -172,7 +182,7 @@ class BoundedQueue
     size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return items_.size();
     }
 
@@ -181,17 +191,17 @@ class BoundedQueue
     bool
     closed() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return closed_;
     }
 
   private:
-    mutable std::mutex mutex_;
+    const size_t capacity_;
+    mutable Mutex mutex_;
     std::condition_variable notFull_;
     std::condition_variable notEmpty_;
-    std::deque<T> items_;
-    size_t capacity_;
-    bool closed_ = false;
+    std::deque<T> items_ RTGS_GUARDED_BY(mutex_);
+    bool closed_ RTGS_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace rtgs

@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(size_t num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     cv_.notify_all();
@@ -49,8 +49,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            CvLock lock(mutex_);
+            while (!stopping_ && tasks_.empty())
+                lock.wait(cv_);
             if (stopping_ && tasks_.empty())
                 return;
             task = std::move(tasks_.front());
@@ -64,7 +65,7 @@ void
 ThreadPool::enqueue(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         tasks_.push(std::move(task));
     }
     cv_.notify_one();

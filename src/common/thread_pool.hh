@@ -20,10 +20,12 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hh"
+#include "common/mutex.hh"
 
 namespace rtgs
 {
@@ -86,11 +88,13 @@ class ThreadPool
     void workerLoop();
     void enqueue(std::function<void()> task);
 
+    /** Immutable after construction (joined in the destructor). */
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
+
+    Mutex mutex_;
     std::condition_variable cv_;
-    bool stopping_ = false;
+    std::queue<std::function<void()>> tasks_ RTGS_GUARDED_BY(mutex_);
+    bool stopping_ RTGS_GUARDED_BY(mutex_) = false;
 };
 
 /** Process-wide shared pool, lazily created. */

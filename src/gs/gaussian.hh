@@ -142,6 +142,30 @@ struct DefaultInitAllocator : std::allocator<T>
  * operator[]/data()) asserts Full precision, so no caller can silently
  * reinterpret packed bits. COW semantics are unchanged: the packed
  * buffer is shared/unshared exactly like the full one.
+ *
+ * Concurrency contract. The column holds no mutex: the shared_ptr
+ * control block (its atomic refcount) is the ONLY cross-thread
+ * synchronisation it owns. That is sufficient because of how the SLAM
+ * loop uses it:
+ *
+ *  - Publication: copying a CowColumn (snapshot publish, tracking-
+ *    clone refresh) bumps the refcount. The copy itself must be
+ *    ordered against concurrent mut() calls by an external lock —
+ *    SlamSystem does this under stateMutex_ — and handed to the
+ *    reader through another synchronised channel (snapshotMutex_),
+ *    which provides the happens-before edge for the buffer contents.
+ *  - Shared reads: any number of threads may call const accessors on
+ *    columns aliasing one buffer; nothing writes a shared buffer.
+ *  - Mutation: mut()/store()/compactKeep() demand the caller hold
+ *    whatever lock protects that cloud instance. unshare() only READS
+ *    the old buffer into a fresh one, so concurrent readers of the
+ *    other aliases are undisturbed; the refcount decrement/increment
+ *    pair is the atomic part.
+ *
+ * The static analysis cannot see through the shared_ptr, so this
+ * contract is enforced socially here and mechanically at the call
+ * sites (SlamSystem's GUARDED_BY(stateMutex_) on the authoritative
+ * cloud) plus the determinism linter's cow-raw-access rule.
  */
 template <typename T>
 class CowColumn

@@ -78,7 +78,7 @@ std::unique_ptr<RenderPipeline::BackwardScratch>
 RenderPipeline::acquireScratch() const
 {
     {
-        std::lock_guard<std::mutex> lock(scratchMutex_);
+        MutexLock lock(scratchMutex_);
         if (!scratchFree_.empty()) {
             auto scratch = std::move(scratchFree_.back());
             scratchFree_.pop_back();
@@ -92,7 +92,7 @@ void
 RenderPipeline::releaseScratch(
     std::unique_ptr<BackwardScratch> scratch) const
 {
-    std::lock_guard<std::mutex> lock(scratchMutex_);
+    MutexLock lock(scratchMutex_);
     scratchFree_.push_back(std::move(scratch));
 }
 

@@ -11,8 +11,10 @@
 
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/annotations.hh"
+#include "common/mutex.hh"
 
 #include "gs/backward.hh"
 
@@ -180,8 +182,11 @@ class RenderPipeline
 
     RenderSettings settings_;
     ThreadPool *pool_ = nullptr;
-    mutable std::mutex scratchMutex_;
-    mutable std::vector<std::unique_ptr<BackwardScratch>> scratchFree_;
+    /** Guards the backward scratch-arena free list; checked-out arenas
+     *  are exclusively owned by the borrowing backward() call. */
+    mutable Mutex scratchMutex_;
+    mutable std::vector<std::unique_ptr<BackwardScratch>> scratchFree_
+        RTGS_GUARDED_BY(scratchMutex_);
 };
 
 } // namespace rtgs::gs

@@ -68,6 +68,11 @@ laneCount(__m256 mask)
         __builtin_popcount(static_cast<unsigned>(_mm256_movemask_ps(mask))));
 }
 
+// det-lint: begin-allow(double-accum) — the exact-tier exp is double
+// on purpose: it widens ONE value transcendentally and narrows back,
+// which is precision-raising, not an accumulation path. The lint rule
+// exists to stop float sums drifting through double accumulators; a
+// faithfully-rounded scalar function is the sanctioned exception.
 /** exp on 4 doubles, |x| <= 90: range reduce, degree-10 Taylor. */
 inline __m256d
 expDouble4(__m256d x)
@@ -115,6 +120,7 @@ expFaithful8(__m256 x)
     __m128 rhi = _mm256_cvtpd_ps(expDouble4(hi));
     return _mm256_set_m128(rhi, rlo);
 }
+// det-lint: end-allow(double-accum)
 
 /** Polynomial float exp, the vector form of expApproxScalar. */
 inline __m256

@@ -27,6 +27,7 @@ HealthMonitor::HealthMonitor(const HealthConfig &config)
 InputCheck
 HealthMonitor::checkInput(const data::Frame &frame)
 {
+    affinity_.assertHeld();
     InputCheck check;
 
     // Non-finite pixels: a corrupted transmission or a camera fault.
@@ -91,6 +92,7 @@ HealthMonitor::checkInput(const data::Frame &frame)
 void
 HealthMonitor::noteRejected()
 {
+    affinity_.assertHeld();
     ++rejectedInputs_;
     escalateSuspect();
     if (state_ != HealthState::Ok)
@@ -100,6 +102,7 @@ HealthMonitor::noteRejected()
 FrameAdvice
 HealthMonitor::advise(u32 configured_track_iterations) const
 {
+    affinity_.assertHeld();
     FrameAdvice advice;
     if (state_ == HealthState::Ok || configured_track_iterations == 0)
         return advice;
@@ -156,6 +159,7 @@ HealthMonitor::stepClean(Assessment &out)
 Assessment
 HealthMonitor::assess(const AssessInput &in)
 {
+    affinity_.assertHeld();
     Assessment out;
 
     bool loss_spike =
@@ -211,6 +215,11 @@ HealthMonitor::assess(const AssessInput &in)
 void
 HealthMonitor::reset()
 {
+    // The documented hand-off point: dropping all history also unbinds
+    // the thread affinity, so a monitor reset between runs may continue
+    // on a different thread.
+    affinity_.rebind();
+    affinity_.assertHeld();
     state_ = HealthState::Ok;
     consecutiveSuspect_ = 0;
     consecutiveClean_ = 0;

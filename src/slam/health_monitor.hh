@@ -34,6 +34,8 @@
 
 #include <functional>
 
+#include "common/annotations.hh"
+#include "common/mutex.hh"
 #include "data/dataset.hh"
 
 namespace rtgs::slam
@@ -146,7 +148,11 @@ struct Assessment
 /**
  * The tracking-health state machine. Feed each frame through
  * checkInput() (+ noteRejected() when the caller skips it), advise(),
- * and assess(), in order. Not thread-safe: frame-loop only.
+ * and assess(), in order. Not thread-safe: frame-loop only — the
+ * confinement is enforced by a ThreadAffinity capability, so a call
+ * from a second thread panics at runtime and unguarded field access
+ * fails the Clang thread-safety build. reset() is the documented
+ * hand-off point for moving the monitor to another thread.
  */
 class HealthMonitor
 {
@@ -154,13 +160,43 @@ class HealthMonitor
     explicit HealthMonitor(const HealthConfig &config = {});
 
     const HealthConfig &config() const { return config_; }
-    HealthState state() const { return state_; }
+
+    HealthState
+    state() const
+    {
+        affinity_.assertHeld();
+        return state_;
+    }
+
     /** Frames since the monitor last reported Ok (0 when Ok). */
-    u32 framesSinceHealthy() const { return framesSinceHealthy_; }
+    u32
+    framesSinceHealthy() const
+    {
+        affinity_.assertHeld();
+        return framesSinceHealthy_;
+    }
+
     /** Completed recovery episodes (transitions back to Ok). */
-    size_t recoveries() const { return recoveries_; }
-    size_t rejectedInputs() const { return rejectedInputs_; }
-    size_t heldPoses() const { return heldPoses_; }
+    size_t
+    recoveries() const
+    {
+        affinity_.assertHeld();
+        return recoveries_;
+    }
+
+    size_t
+    rejectedInputs() const
+    {
+        affinity_.assertHeld();
+        return rejectedInputs_;
+    }
+
+    size_t
+    heldPoses() const
+    {
+        affinity_.assertHeld();
+        return heldPoses_;
+    }
 
     /** Validate the next frame's input before tracking. */
     InputCheck checkInput(const data::Frame &frame);
@@ -179,23 +215,28 @@ class HealthMonitor
     void reset();
 
   private:
-    void escalateSuspect();
-    void stepClean(Assessment &out);
+    void escalateSuspect() RTGS_REQUIRES(affinity_);
+    void stepClean(Assessment &out) RTGS_REQUIRES(affinity_);
 
+    /** Binds to the frame loop on first use; see the class comment. */
+    ThreadAffinity affinity_;
+
+    /** Immutable after construction. */
     HealthConfig config_;
-    HealthState state_ = HealthState::Ok;
-    u32 consecutiveSuspect_ = 0;
-    u32 consecutiveClean_ = 0;
-    u32 framesSinceHealthy_ = 0;
+
+    HealthState state_ RTGS_GUARDED_BY(affinity_) = HealthState::Ok;
+    u32 consecutiveSuspect_ RTGS_GUARDED_BY(affinity_) = 0;
+    u32 consecutiveClean_ RTGS_GUARDED_BY(affinity_) = 0;
+    u32 framesSinceHealthy_ RTGS_GUARDED_BY(affinity_) = 0;
     /** A forced re-anchor keyframe is pending for the next clean frame. */
-    bool needReanchor_ = false;
-    double lossEma_ = 0;
-    bool haveLossEma_ = false;
-    double lastTimestamp_ = 0;
-    bool haveTimestamp_ = false;
-    size_t recoveries_ = 0;
-    size_t rejectedInputs_ = 0;
-    size_t heldPoses_ = 0;
+    bool needReanchor_ RTGS_GUARDED_BY(affinity_) = false;
+    double lossEma_ RTGS_GUARDED_BY(affinity_) = 0;
+    bool haveLossEma_ RTGS_GUARDED_BY(affinity_) = false;
+    double lastTimestamp_ RTGS_GUARDED_BY(affinity_) = 0;
+    bool haveTimestamp_ RTGS_GUARDED_BY(affinity_) = false;
+    size_t recoveries_ RTGS_GUARDED_BY(affinity_) = 0;
+    size_t rejectedInputs_ RTGS_GUARDED_BY(affinity_) = 0;
+    size_t heldPoses_ RTGS_GUARDED_BY(affinity_) = 0;
 };
 
 } // namespace rtgs::slam

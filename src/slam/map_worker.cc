@@ -28,7 +28,7 @@ MapWorker::enqueue(MapJob job)
     // submitted_ (the drainer may pop-and-finish the job before this
     // thread reacquires statusMutex_).
     {
-        std::lock_guard<std::mutex> lock(statusMutex_);
+        MutexLock lock(statusMutex_);
         ++submitted_;
     }
     bool pushed = false;
@@ -41,7 +41,7 @@ MapWorker::enqueue(MapJob job)
                 job, std::chrono::duration<double>(watchdogSeconds_));
             if (!pushed) {
                 {
-                    std::lock_guard<std::mutex> lock(statusMutex_);
+                    MutexLock lock(statusMutex_);
                     ++watchdogTrips_;
                 }
                 warn("map queue watchdog tripped after %.1fs; evicting "
@@ -62,7 +62,7 @@ MapWorker::enqueue(MapJob job)
         if (evicted) {
             if (onDrop_)
                 onDrop_(*evicted);
-            std::lock_guard<std::mutex> lock(statusMutex_);
+            MutexLock lock(statusMutex_);
             ++droppedJobs_;
             // The evicted job is counted in submitted_ but will never
             // reach the drainer; balance the ledger here so drain()
@@ -73,7 +73,7 @@ MapWorker::enqueue(MapJob job)
     }
     bool spawn = false;
     {
-        std::lock_guard<std::mutex> lock(statusMutex_);
+        MutexLock lock(statusMutex_);
         if (!drainerActive_) {
             drainerActive_ = true;
             spawn = true;
@@ -97,7 +97,7 @@ MapWorker::drainLoop()
             // member state, and the notify happens under the lock:
             // drain() waits for !drainerActive_, so this MapWorker can
             // only be destroyed after the drainer has fully let go.
-            std::lock_guard<std::mutex> lock(statusMutex_);
+            MutexLock lock(statusMutex_);
             MapJob job;
             if (!queue_.tryPop(job)) {
                 drainerActive_ = false;
@@ -127,7 +127,7 @@ MapWorker::drainLoop()
                  batch.size(), batch.front().record.frameIndex);
         }
         {
-            std::lock_guard<std::mutex> lock(statusMutex_);
+            MutexLock lock(statusMutex_);
             completed_ += batch.size();
         }
     }
@@ -136,14 +136,14 @@ MapWorker::drainLoop()
 size_t
 MapWorker::droppedJobs() const
 {
-    std::lock_guard<std::mutex> lock(statusMutex_);
+    MutexLock lock(statusMutex_);
     return droppedJobs_;
 }
 
 size_t
 MapWorker::watchdogTrips() const
 {
-    std::lock_guard<std::mutex> lock(statusMutex_);
+    MutexLock lock(statusMutex_);
     return watchdogTrips_;
 }
 
@@ -153,10 +153,9 @@ MapWorker::drain()
     // Producer-side call (SPSC): every enqueue() this drain should
     // cover has already bumped submitted_, so waiting for the drainer
     // to retire with matching counters covers all pending jobs.
-    std::unique_lock<std::mutex> lock(statusMutex_);
-    statusCv_.wait(lock, [this] {
-        return completed_ == submitted_ && !drainerActive_;
-    });
+    CvLock lock(statusMutex_);
+    while (!(completed_ == submitted_ && !drainerActive_))
+        lock.wait(statusCv_);
 }
 
 } // namespace rtgs::slam

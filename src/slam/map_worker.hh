@@ -37,10 +37,11 @@
 #include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/bounded_queue.hh"
+#include "common/mutex.hh"
 #include "slam/keyframe.hh"
 #include "slam/mapper.hh"
 
@@ -110,7 +111,7 @@ class MapWorker
 
     /** Wait until all jobs submitted so far have completed (dropped
      *  jobs count as completed — they will never run). */
-    void drain();
+    void drain() RTGS_EXCLUDES(statusMutex_);
 
     size_t batchSize() const { return batchSize_; }
 
@@ -130,14 +131,18 @@ class MapWorker
     double watchdogSeconds_;
     DropFn onDrop_;
 
-    mutable std::mutex statusMutex_;
+    /** Guards the completion ledger below. queue_'s internal mutex may
+     *  be taken while statusMutex_ is held (drainLoop's atomic
+     *  pop-or-retire) — never the reverse: BoundedQueue calls nothing
+     *  back. */
+    mutable Mutex statusMutex_;
     std::condition_variable statusCv_;
-    size_t submitted_ = 0;
-    size_t completed_ = 0;
-    size_t droppedJobs_ = 0;
-    size_t watchdogTrips_ = 0;
+    size_t submitted_ RTGS_GUARDED_BY(statusMutex_) = 0;
+    size_t completed_ RTGS_GUARDED_BY(statusMutex_) = 0;
+    size_t droppedJobs_ RTGS_GUARDED_BY(statusMutex_) = 0;
+    size_t watchdogTrips_ RTGS_GUARDED_BY(statusMutex_) = 0;
     /** True while a drain task is live on the pool (at most one). */
-    bool drainerActive_ = false;
+    bool drainerActive_ RTGS_GUARDED_BY(statusMutex_) = false;
 };
 
 } // namespace rtgs::slam

@@ -104,18 +104,24 @@ SlamSystem::SlamSystem(const SlamConfig &config,
     // knob at this layer; it overrides whatever the embedded mapper
     // config carried.
     config_.mapper.multiViewWindow = config.multiViewWindow;
-    mapper_.config().multiViewWindow = config.multiViewWindow;
 
     gs::RenderSettings settings;
     settings.background = {0.03f, 0.03f, 0.05f};
     settings.pipeline = config.pipeline;
     pipeline_ = gs::RenderPipeline(settings);
 
-    // The preset's storage side: narrow the low-sensitivity columns of
-    // the authoritative cloud. Every COW snapshot / tracking clone
-    // copies the column (and its precision) wholesale, so this single
-    // application covers the whole system's storage.
-    gs::applyStoragePrecision(cloud_, config.pipeline);
+    {
+        // No worker can exist yet; the lock just keeps the guarded
+        // accesses uniform for the static analysis.
+        MutexLock lock(stateMutex_);
+        mapper_.config().multiViewWindow = config.multiViewWindow;
+
+        // The preset's storage side: narrow the low-sensitivity columns
+        // of the authoritative cloud. Every COW snapshot / tracking
+        // clone copies the column (and its precision) wholesale, so
+        // this single application covers the whole system's storage.
+        gs::applyStoragePrecision(cloud_, config.pipeline);
+    }
 
     switch (config.algorithm) {
       case BaseAlgorithm::GsSlam:
@@ -139,7 +145,7 @@ SlamSystem::SlamSystem(const SlamConfig &config,
         // Evicted jobs never run; mark their report rows so drops are
         // accounted instead of silently reading as unmapped keyframes.
         MapWorker::DropFn on_drop = [this](MapJob &job) {
-            std::lock_guard<std::mutex> lock(reportMutex_);
+            MutexLock lock(reportMutex_);
             rtgs_assert(job.reportIndex < reports_.size());
             reports_[job.reportIndex].mapJobDropped = true;
         };
@@ -164,7 +170,7 @@ SlamSystem::waitForMapping()
     // carry them; fold them in now so cloud() honours every tracking
     // decision once this returns.
     if (pendingPruneCount() > 0) {
-        std::lock_guard<std::mutex> lock(stateMutex_);
+        MutexLock lock(stateMutex_);
         applyPendingPrunesLocked();
         // Publish even when the translation dropped nothing: apply
         // marked the requests as applied-in the next generation, and
@@ -177,13 +183,13 @@ SlamSystem::waitForMapping()
 gs::GaussianCloud &
 SlamSystem::trackingCloud()
 {
-    return mapWorker_ ? trackCloud_ : cloud_;
+    return mapWorker_ ? trackCloud_ : syncCloud();
 }
 
 const gs::GaussianCloud &
 SlamSystem::trackingCloud() const
 {
-    return mapWorker_ ? trackCloud_ : cloud_;
+    return mapWorker_ ? trackCloud_ : syncCloud();
 }
 
 void
@@ -198,14 +204,14 @@ SlamSystem::requestTrackingPrune(const std::vector<u8> &keep)
             prune.ids.push_back(ids[k]); // ascending: ids are sorted
     if (prune.ids.empty())
         return;
-    std::lock_guard<std::mutex> lock(pruneMutex_);
+    MutexLock lock(pruneMutex_);
     pendingPrunes_.push_back(std::move(prune));
 }
 
 size_t
 SlamSystem::pendingPruneCount() const
 {
-    std::lock_guard<std::mutex> lock(pruneMutex_);
+    MutexLock lock(pruneMutex_);
     size_t n = 0;
     for (const PendingPrune &p : pendingPrunes_)
         n += p.appliedInGeneration == 0 ? 1 : 0;
@@ -223,7 +229,7 @@ SlamSystem::applyPendingPrunesLocked()
 {
     std::vector<u64> dropped;
     {
-        std::lock_guard<std::mutex> lock(pruneMutex_);
+        MutexLock lock(pruneMutex_);
         for (PendingPrune &p : pendingPrunes_) {
             if (p.appliedInGeneration != 0)
                 continue;
@@ -251,18 +257,17 @@ SlamSystem::applyPendingPrunesLocked()
 double
 SlamSystem::publishSnapshotLocked(u32 last_mapped_frame)
 {
-    auto t0 = std::chrono::steady_clock::now();
+    Stopwatch watch;
     auto snapshot = std::make_shared<TrackingSnapshot>();
     snapshot->cloud = cloud_; // COW: one refcount bump per column
     snapshot->generation = ++mapGeneration_;
     snapshot->lastMappedFrame = last_mapped_frame;
     lastPublishedFrame_ = last_mapped_frame;
     {
-        std::lock_guard<std::mutex> snap(snapshotMutex_);
+        MutexLock snap(snapshotMutex_);
         trackingSnapshot_ = std::move(snapshot);
     }
-    return std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - t0).count();
+    return watch.seconds();
 }
 
 void
@@ -477,7 +482,7 @@ SlamSystem::stageTrack(const data::Frame &frame, Real tracking_scale,
 
     SE3 guess = constantVelocityGuess();
     StageProfiler::Scope scope(profiler_, "tracking");
-    auto t0 = std::chrono::steady_clock::now();
+    Stopwatch watch;
     SE3 pose;
     if (config_.algorithm == BaseAlgorithm::PhotoSlam) {
         // Classical geometric backend: needs only the previous frame's
@@ -504,7 +509,7 @@ SlamSystem::stageTrack(const data::Frame &frame, Real tracking_scale,
                                 obs.rgb(), depth, trackHook_,
                                 track_budget, allow_exceed);
         } else {
-            tr = tracker_.track(pipeline_, cloud_, obs.intr, guess,
+            tr = tracker_.track(pipeline_, syncCloud(), obs.intr, guess,
                                 obs.rgb(), depth, trackHook_,
                                 track_budget, allow_exceed);
         }
@@ -513,8 +518,7 @@ SlamSystem::stageTrack(const data::Frame &frame, Real tracking_scale,
         report.trackIterations = tr.iterationsRun;
         report.trackFragments = tr.totalFragments;
     }
-    report.trackSeconds = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - t0).count();
+    report.trackSeconds = watch.seconds();
     return pose;
 }
 
@@ -558,17 +562,23 @@ void
 SlamSystem::stageMapSync(const data::Frame &frame, const SE3 &pose,
                          const FrameBudget *budget, FrameReport &report)
 {
-    auto t0 = std::chrono::steady_clock::now();
+    Stopwatch watch;
     StageProfiler::Scope scope(profiler_, "mapping");
-    report.mapLoss =
-        mapKeyframe(KeyframeRecord{frame.index, pose, frame.rgb,
-                                   frame.depth},
-                    budget ? budget->mapIterations : 0, report);
+    {
+        // No worker exists in sync mode, so the lock is uncontended;
+        // it discharges mapKeyframe()'s REQUIRES(stateMutex_). Map
+        // hooks that fire inside only use the lock-free cloud()
+        // accessor, matching the async path's locking.
+        MutexLock lock(stateMutex_);
+        report.mapLoss =
+            mapKeyframe(KeyframeRecord{frame.index, pose, frame.rgb,
+                                       frame.depth},
+                        budget ? budget->mapIterations : 0, report);
+    }
     lastKeyframeIndex_ = frame.index;
     lastKeyframeImage_ = frame.rgb;
     lastKeyframePose_ = pose;
-    report.mapSeconds = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - t0).count();
+    report.mapSeconds = watch.seconds();
 }
 
 void
@@ -592,7 +602,7 @@ SlamSystem::stageEnqueueMap(const data::Frame &frame, const SE3 &pose,
 void
 SlamSystem::runMapBatch(std::vector<MapJob> &jobs)
 {
-    auto t0 = std::chrono::steady_clock::now();
+    Stopwatch watch;
     StageProfiler::Scope scope(profiler_, "mapping");
 
     std::vector<MapBatchItem> items(jobs.size());
@@ -601,7 +611,7 @@ SlamSystem::runMapBatch(std::vector<MapJob> &jobs)
     double publish_seconds;
     u64 generation;
     {
-        std::lock_guard<std::mutex> lock(stateMutex_);
+        MutexLock lock(stateMutex_);
         // Fold tracking-side prune decisions in first so this batch
         // optimises the cloud the tracker actually kept.
         applyPendingPrunesLocked();
@@ -623,10 +633,9 @@ SlamSystem::runMapBatch(std::vector<MapJob> &jobs)
         publish_seconds = publishSnapshotLocked(last_frame);
         generation = mapGeneration_;
     }
-    double seconds = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - t0).count();
+    double seconds = watch.seconds();
 
-    std::lock_guard<std::mutex> lock(reportMutex_);
+    MutexLock lock(reportMutex_);
     for (size_t j = 0; j < jobs.size(); ++j) {
         rtgs_assert(jobs[j].reportIndex < reports_.size());
         FrameReport &row = reports_[jobs[j].reportIndex];
@@ -649,14 +658,14 @@ std::shared_ptr<const TrackingSnapshot>
 SlamSystem::snapshotCloud()
 {
     {
-        std::lock_guard<std::mutex> lock(snapshotMutex_);
+        MutexLock lock(snapshotMutex_);
         if (trackingSnapshot_ && !trackingSnapshot_->cloud.empty())
             return trackingSnapshot_;
     }
     // Bootstrap: the first keyframe's mapping may still be in flight;
     // never track against an empty map when one is on the way.
     waitForMapping();
-    std::lock_guard<std::mutex> lock(snapshotMutex_);
+    MutexLock lock(snapshotMutex_);
     if (!trackingSnapshot_)
         trackingSnapshot_ = std::make_shared<const TrackingSnapshot>();
     return trackingSnapshot_;
@@ -701,7 +710,7 @@ SlamSystem::refreshTrackingClone(const data::Frame &frame,
     // generation has since made permanent.
     std::vector<u64> dropped;
     {
-        std::lock_guard<std::mutex> lock(pruneMutex_);
+        MutexLock lock(pruneMutex_);
         auto alive = pendingPrunes_.begin();
         for (auto it = pendingPrunes_.begin();
              it != pendingPrunes_.end(); ++it) {
@@ -749,9 +758,12 @@ void
 SlamSystem::fillMapFootprint(FrameReport &report)
 {
     if (!mapWorker_) {
+        // Sync mode: the frame loop is the only mutator, so taking the
+        // state lock here is uncontended and keeps the guarded reads
+        // honest under the thread-safety analysis.
+        MutexLock lock(stateMutex_);
         report.gaussianCount = cloud_.size();
         report.gaussianBytes = cloud_.parameterBytes();
-        std::lock_guard<std::mutex> lock(stateMutex_);
         peakBytes_ = std::max(peakBytes_, report.gaussianBytes);
     } else {
         // Async: never touch stateMutex_ from the frame loop (an
@@ -761,7 +773,7 @@ SlamSystem::fillMapFootprint(FrameReport &report)
         // maintains the peak.
         std::shared_ptr<const TrackingSnapshot> snap;
         {
-            std::lock_guard<std::mutex> lock(snapshotMutex_);
+            MutexLock lock(snapshotMutex_);
             snap = trackingSnapshot_;
         }
         if (snap) {
@@ -787,7 +799,7 @@ SlamSystem::rejectFrame(FrameReport &report)
     report.framesSinceHealthy = health_->framesSinceHealthy();
     trajectory_.push_back(pose);
     fillMapFootprint(report);
-    std::lock_guard<std::mutex> lock(reportMutex_);
+    MutexLock lock(reportMutex_);
     reports_.push_back(report);
     return report;
 }
@@ -801,13 +813,13 @@ SlamSystem::probePsnr(const data::Frame &frame, const SE3 &pose)
     // geometric backend never clones), else the authoritative cloud in
     // sync mode, where the frame loop is the only mutator.
     std::shared_ptr<const TrackingSnapshot> snap;
-    const gs::GaussianCloud *cloud = &cloud_;
+    const gs::GaussianCloud *cloud = &syncCloud();
     if (mapWorker_) {
         if (!trackCloud_.empty()) {
             cloud = &trackCloud_;
         } else {
             {
-                std::lock_guard<std::mutex> lock(snapshotMutex_);
+                MutexLock lock(snapshotMutex_);
                 snap = trackingSnapshot_;
             }
             if (!snap)
@@ -934,7 +946,7 @@ SlamSystem::processFrame(const data::Frame &frame, Real tracking_scale,
 
     size_t report_index;
     {
-        std::lock_guard<std::mutex> lock(reportMutex_);
+        MutexLock lock(reportMutex_);
         report_index = reports_.size();
         reports_.push_back(report);
     }
@@ -942,7 +954,7 @@ SlamSystem::processFrame(const data::Frame &frame, Real tracking_scale,
     if (async_map) {
         stageEnqueueMap(frame, pose, budget, report_index);
         // The job may already have completed; return the freshest view.
-        std::lock_guard<std::mutex> lock(reportMutex_);
+        MutexLock lock(reportMutex_);
         return reports_[report_index];
     }
     return report;
@@ -951,7 +963,7 @@ SlamSystem::processFrame(const data::Frame &frame, Real tracking_scale,
 ImageRGB
 SlamSystem::renderView(const SE3 &pose) const
 {
-    std::lock_guard<std::mutex> lock(stateMutex_);
+    MutexLock lock(stateMutex_);
     Camera cam(intrinsics_, pose);
     gs::ForwardContext ctx = pipeline_.forward(cloud_, cam);
     return ctx.result.image;

@@ -20,8 +20,10 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/annotations.hh"
+#include "common/mutex.hh"
 
 #include "data/dataset.hh"
 #include "slam/health_monitor.hh"
@@ -297,13 +299,45 @@ class SlamSystem
     SlamSystem(const SlamConfig &config, const Intrinsics &intrinsics);
 
     const SlamConfig &config() const { return config_; }
-    const gs::GaussianCloud &cloud() const { return cloud_; }
-    gs::GaussianCloud &cloud() { return cloud_; }
+
+    /**
+     * The authoritative cloud, lock-free. Legal from the frame loop in
+     * sync mode, after waitForMapping() quiesced the workers in async
+     * mode, and from map-iteration hooks (which already run under the
+     * state lock). The analysis escape is deliberate: locking here
+     * would deadlock the hook path.
+     */
+    const gs::GaussianCloud &
+    cloud() const RTGS_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return cloud_;
+    }
+
+    /** See the const overload for when this is legal. */
+    gs::GaussianCloud &
+    cloud() RTGS_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return cloud_;
+    }
+
     const std::vector<SE3> &trajectory() const { return trajectory_; }
-    const std::vector<FrameReport> &reports() const { return reports_; }
+
+    /**
+     * All per-frame reports. Async-mode rows marked mappedAsync are
+     * worker-filled; call waitForMapping() before reading them (the
+     * escape mirrors cloud()).
+     */
+    const std::vector<FrameReport> &
+    reports() const RTGS_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return reports_;
+    }
+
     const gs::RenderPipeline &renderPipeline() const { return pipeline_; }
     StageProfiler &profiler() { return profiler_; }
-    Mapper &mapper() { return mapper_; }
+
+    /** The mapper; same quiescence contract as cloud(). */
+    Mapper &mapper() RTGS_NO_THREAD_SAFETY_ANALYSIS { return mapper_; }
 
     /** True when keyframe mapping runs asynchronously. */
     bool asyncMapping() const { return mapWorker_ != nullptr; }
@@ -363,14 +397,14 @@ class SlamSystem
      * No-op in sync mode. Call before reading the cloud, reports, or
      * rendering when mapQueueDepth > 0.
      */
-    void waitForMapping();
+    void waitForMapping() RTGS_EXCLUDES(stateMutex_, snapshotMutex_);
 
     /** Largest Gaussian-parameter footprint seen so far (bytes). */
     size_t
     peakGaussianBytes() const
     {
         // Async map jobs update the peak under the state lock.
-        std::lock_guard<std::mutex> lock(stateMutex_);
+        MutexLock lock(stateMutex_);
         return peakBytes_;
     }
 
@@ -430,7 +464,8 @@ class SlamSystem
 
     /** Divergence probe: PSNR (dB) of a downsampled render of the
      *  tracking cloud at `pose` vs the observation; negative when no
-     *  map is available. Never takes stateMutex_ (async-safe). */
+     *  map is available. Never takes stateMutex_ (async-safe): the
+     *  sync-mode cloud read goes through syncCloud(). */
     double probePsnr(const data::Frame &frame, const SE3 &pose);
 
     /** Published-map footprint fields for a non-mapping frame row. */
@@ -455,11 +490,10 @@ class SlamSystem
     /**
      * The mapping recipe shared by the sync and async paths: densify,
      * admit the keyframe to the window, optimise, prune transparent.
-     * Fills the report's densified/mapMultiViews fields. Caller must
-     * hold whatever lock protects cloud_/mapper_ access.
+     * Fills the report's densified/mapMultiViews fields.
      */
     double mapKeyframe(KeyframeRecord record, u32 iteration_budget,
-                       FrameReport &report);
+                       FrameReport &report) RTGS_REQUIRES(stateMutex_);
 
     /**
      * Latest published map snapshot (async mode). Map batches publish a
@@ -480,27 +514,51 @@ class SlamSystem
     /**
      * Fold every not-yet-applied prune request into the authoritative
      * cloud (stable-id keep-mask translation + optimiser remap).
-     * Requires stateMutex_; returns true when the cloud changed.
+     * Returns true when the cloud changed.
      */
-    bool applyPendingPrunesLocked();
+    bool applyPendingPrunesLocked() RTGS_REQUIRES(stateMutex_);
 
     /** Publish cloud_ as a new snapshot generation; returns the wall
-     *  seconds the publication cost. Requires stateMutex_. */
-    double publishSnapshotLocked(u32 last_mapped_frame);
+     *  seconds the publication cost. */
+    double publishSnapshotLocked(u32 last_mapped_frame)
+        RTGS_REQUIRES(stateMutex_);
 
+    /**
+     * The single sanctioned unlocked path to the authoritative cloud:
+     * legal ONLY where the frame loop is provably the sole accessor —
+     * sync mode (no worker exists) or after waitForMapping(). Every
+     * other cloud_ access is statically checked against stateMutex_;
+     * concentrating the escape here keeps it auditable.
+     */
+    gs::GaussianCloud &
+    syncCloud() RTGS_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return cloud_;
+    }
+
+    const gs::GaussianCloud &
+    syncCloud() const RTGS_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return cloud_;
+    }
+
+    // --- Immutable after construction / internally synchronized.
     SlamConfig config_;
     Intrinsics intrinsics_;
+    /** Internally synchronized (scratch-arena free list). */
     gs::RenderPipeline pipeline_;
     Tracker tracker_;
-    Mapper mapper_;
     std::unique_ptr<KeyframePolicy> keyframePolicy_;
-    gs::GaussianCloud cloud_;
-    std::vector<SE3> trajectory_;
-    std::vector<FrameReport> reports_;
+    /** Internally synchronized. */
     StageProfiler profiler_;
+    /** Set before the first frame; read by the frame loop (track) and
+     *  by map workers under stateMutex_ (map). */
     TrackIterationHook trackHook_;
     MapIterationHook mapHook_;
-    size_t peakBytes_ = 0;
+
+    // --- Frame-loop-confined: only processFrame() and its stages (all
+    // on the caller thread) touch these; no lock needed.
+    std::vector<SE3> trajectory_;
     u32 lastKeyframeIndex_ = 0;
     ImageRGB lastKeyframeImage_;
     SE3 lastKeyframePose_;
@@ -508,27 +566,13 @@ class SlamSystem
     ImageF prevDepth_;
     SE3 prevPose_;
     bool bootstrapped_ = false;
-    /** Tracking-health monitor; null unless config.health.enabled. */
+    /** Tracking-health monitor; null unless config.health.enabled.
+     *  Thread-confined internally via its ThreadAffinity capability. */
     std::unique_ptr<HealthMonitor> health_;
-
-    /** Guards cloud_, mapper_, peakBytes_, mapGeneration_ against the
-     *  async map stage. */
-    mutable std::mutex stateMutex_;
-    /** Guards reports_ (caller pushes rows, the worker fills them in). */
-    mutable std::mutex reportMutex_;
-    /** Guards trackingSnapshot_ (published by map batches, read by
-     *  track). */
-    mutable std::mutex snapshotMutex_;
-    std::shared_ptr<const TrackingSnapshot> trackingSnapshot_;
-    /** Snapshot publication counter (under stateMutex_). */
-    u64 mapGeneration_ = 0;
-    /** Newest keyframe folded into a published snapshot. */
-    u32 lastPublishedFrame_ = 0;
-
-    /** Frame-loop-only: per-frame tracking clone of the snapshot. */
+    /** Per-frame tracking clone of the snapshot. */
     gs::GaussianCloud trackCloud_;
-    /** Generation trackCloud_ was cloned from (frame-loop only; the
-     *  sentinel forces the first refresh to clone). */
+    /** Generation trackCloud_ was cloned from (the sentinel forces the
+     *  first refresh to clone). */
     u64 trackCloneGeneration_ = ~u64(0);
 
     /** One tracking-side prune decision awaiting authoritative apply. */
@@ -537,12 +581,37 @@ class SlamSystem
         std::vector<u64> ids;          //!< stable ids to drop (sorted)
         u64 appliedInGeneration = 0;   //!< 0 = not yet applied
     };
+
+    /** Guards the authoritative map state against the async map stage.
+     *  Lock order: stateMutex_ before snapshotMutex_ / reportMutex_ /
+     *  pruneMutex_ (never the reverse). */
+    mutable Mutex stateMutex_;
+    gs::GaussianCloud cloud_ RTGS_GUARDED_BY(stateMutex_);
+    Mapper mapper_ RTGS_GUARDED_BY(stateMutex_);
+    size_t peakBytes_ RTGS_GUARDED_BY(stateMutex_) = 0;
+    /** Snapshot publication counter. */
+    u64 mapGeneration_ RTGS_GUARDED_BY(stateMutex_) = 0;
+    /** Newest keyframe folded into a published snapshot. */
+    u32 lastPublishedFrame_ RTGS_GUARDED_BY(stateMutex_) = 0;
+
+    /** Guards reports_ (caller pushes rows, the worker fills them in). */
+    mutable Mutex reportMutex_;
+    std::vector<FrameReport> reports_ RTGS_GUARDED_BY(reportMutex_);
+
+    /** Guards trackingSnapshot_ (published by map batches, read by
+     *  track). */
+    mutable Mutex snapshotMutex_;
+    std::shared_ptr<const TrackingSnapshot> trackingSnapshot_
+        RTGS_GUARDED_BY(snapshotMutex_);
+
     /** Guards pendingPrunes_ (tracker appends, map batches consume). */
-    mutable std::mutex pruneMutex_;
-    std::vector<PendingPrune> pendingPrunes_;
+    mutable Mutex pruneMutex_;
+    std::vector<PendingPrune> pendingPrunes_ RTGS_GUARDED_BY(pruneMutex_);
 
     /** Async map executor; null in sync mode. Declared last so its
-     *  destructor drains in-flight jobs before members are torn down. */
+     *  destructor drains in-flight jobs before members are torn down.
+     *  Immutable after construction; internally synchronized. */
+    // det-lint: allow(unguarded-field)
     std::unique_ptr<MapWorker> mapWorker_;
 };
 

@@ -4,29 +4,26 @@ namespace rtgs::slam
 {
 
 StageProfiler::Scope::Scope(StageProfiler &profiler, std::string stage)
-    : profiler_(profiler), stage_(std::move(stage)),
-      start_(std::chrono::steady_clock::now())
+    : profiler_(profiler), stage_(std::move(stage))
 {
 }
 
 StageProfiler::Scope::~Scope()
 {
-    auto end = std::chrono::steady_clock::now();
-    profiler_.add(stage_,
-                  std::chrono::duration<double>(end - start_).count());
+    profiler_.add(stage_, watch_.seconds());
 }
 
 void
 StageProfiler::add(const std::string &stage, double seconds)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stages_[stage] += seconds;
 }
 
 double
 StageProfiler::seconds(const std::string &stage) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = stages_.find(stage);
     return it == stages_.end() ? 0.0 : it->second;
 }
@@ -34,7 +31,7 @@ StageProfiler::seconds(const std::string &stage) const
 double
 StageProfiler::totalSeconds() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     double t = 0;
     for (const auto &[_, s] : stages_)
         t += s;
@@ -44,14 +41,14 @@ StageProfiler::totalSeconds() const
 std::map<std::string, double>
 StageProfiler::stages() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stages_;
 }
 
 void
 StageProfiler::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stages_.clear();
 }
 

@@ -4,6 +4,13 @@
  * latency breakdowns of Fig. 3: tracking vs mapping vs other at the
  * pipeline level, and per-step (preprocessing / sorting / rendering /
  * rendering BP / preprocessing BP) within a stage.
+ *
+ * This file is the pipeline's only sanctioned clock site: timing is
+ * observability, never an input to the computation, so determinism-
+ * contracted TUs (src/gs, src/slam, src/core) must take their
+ * measurements through StageProfiler::Scope or Stopwatch rather than
+ * reading std::chrono clocks directly (tools/determinism_lint.py
+ * enforces this).
  */
 
 #ifndef RTGS_SLAM_PROFILER_HH
@@ -11,11 +18,38 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/annotations.hh"
+#include "common/mutex.hh"
 
 namespace rtgs::slam
 {
+
+/**
+ * Monotonic elapsed-time measurement; starts running on construction.
+ * For timings that land in FrameReport fields rather than a profiler
+ * stage.
+ */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds since construction or the last restart(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /**
  * Accumulates wall-clock seconds per named stage. Thread-safe: with the
@@ -38,7 +72,7 @@ class StageProfiler
       private:
         StageProfiler &profiler_;
         std::string stage_;
-        std::chrono::steady_clock::time_point start_;
+        Stopwatch watch_;
     };
 
     /** Add seconds to a stage directly. */
@@ -59,8 +93,8 @@ class StageProfiler
     void clear();
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, double> stages_;
+    mutable Mutex mutex_;
+    std::map<std::string, double> stages_ RTGS_GUARDED_BY(mutex_);
 };
 
 } // namespace rtgs::slam

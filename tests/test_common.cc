@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/bounded_queue.hh"
+#include "common/mutex.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -416,6 +417,72 @@ TEST(BoundedQueue, CloseWakesProducerAndDrainsConsumer)
     EXPECT_TRUE(q.pop(v)); // closed queues still drain
     EXPECT_EQ(v, 7);
     EXPECT_FALSE(q.pop(v)); // and then report exhaustion
+}
+
+// ---------------------------------------------------------------------
+// Annotated synchronization primitives (common/mutex.hh)
+// ---------------------------------------------------------------------
+
+TEST(MutexPrimitives, MutexLockAndCvLockProtectSharedState)
+{
+    Mutex mutex;
+    std::condition_variable cv;
+    int value = 0;
+    bool ready = false;
+
+    std::thread producer([&] {
+        MutexLock lock(mutex);
+        value = 42;
+        ready = true;
+        cv.notify_one();
+    });
+    {
+        CvLock lock(mutex);
+        while (!ready)
+            lock.wait(cv);
+        EXPECT_EQ(value, 42);
+    }
+    producer.join();
+}
+
+TEST(MutexPrimitives, TryLockReportsContention)
+{
+    Mutex mutex;
+    mutex.lock();
+    std::thread other([&] { EXPECT_FALSE(mutex.tryLock()); });
+    other.join();
+    mutex.unlock();
+    ASSERT_TRUE(mutex.tryLock());
+    mutex.unlock();
+}
+
+TEST(ThreadAffinity, SameThreadUseIsQuiet)
+{
+    ThreadAffinity affinity;
+    affinity.assertHeld(); // binds to this thread
+    affinity.assertHeld(); // re-checks quietly
+}
+
+TEST(ThreadAffinity, RebindHandsOffToAnotherThread)
+{
+    ThreadAffinity affinity;
+    affinity.assertHeld();
+    affinity.rebind(); // documented hand-off point
+    std::thread other([&] { affinity.assertHeld(); });
+    other.join();
+}
+
+TEST(ThreadAffinityDeathTest, CrossThreadUsePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ThreadAffinity affinity;
+    affinity.assertHeld();
+    EXPECT_DEATH(
+        {
+            std::thread other([&] { affinity.assertHeld(); });
+            other.join();
+        },
+        "thread-affine state");
 }
 
 } // namespace rtgs

@@ -1,0 +1,19 @@
+// det-lint-path: src/gs/fixture_atomic_float.cc
+// det-lint-expect: atomic-float
+//
+// Atomic float accumulation: the summation order is whatever the
+// scheduler did today. Reductions go through fixed-block helpers.
+#include <atomic>
+#include <cstddef>
+
+float
+sumAll(const float *values, std::size_t n)
+{
+    std::atomic<float> total{0.0f};
+    for (std::size_t i = 0; i < n; ++i) {
+        float cur = total.load();
+        while (!total.compare_exchange_weak(cur, cur + values[i])) {
+        }
+    }
+    return total.load();
+}

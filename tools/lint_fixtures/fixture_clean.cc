@@ -1,0 +1,24 @@
+// det-lint-path: src/slam/fixture_clean.cc
+// (no expectations declared: this file must lint clean)
+//
+// Exercises the constructs the rules must NOT flag: ordered containers
+// with value keys, prose mentions of rand() and steady_clock inside
+// comments and string literals, and an explicit allow marker.
+#include <atomic>
+#include <map>
+#include <string>
+
+// Comments may discuss std::unordered_map, rand(), system_clock and
+// double accumulators freely; only code trips the rules.
+
+int
+lookup(const std::map<std::string, int> &table, const std::string &key)
+{
+    const char *note = "steady_clock::now() inside a string literal";
+    auto it = table.find(key);
+    return it == table.end() ? static_cast<int>(note[0]) : it->second;
+}
+
+// Sanctioned escape hatch: a deliberate, documented exception.
+// det-lint: allow(atomic-float)
+std::atomic<float> g_debugGauge{0.0f};

@@ -1,0 +1,26 @@
+// det-lint-path: src/gs/fixture_cow_raw_access.hh
+// det-lint-expect: cow-raw-access
+//
+// A raw-buffer accessor on a mixed-precision column that skips the
+// full-precision assert: a packed column would hand out garbage bits.
+#include <memory>
+#include <vector>
+
+template <typename T>
+class MiniColumn
+{
+  public:
+    const T *
+    data() const
+    {
+        return data_->data();
+    }
+
+    void
+    assertFull() const
+    {
+    }
+
+  private:
+    std::shared_ptr<std::vector<T>> data_;
+};

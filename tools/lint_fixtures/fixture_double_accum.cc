@@ -1,0 +1,16 @@
+// det-lint-path: src/gs/row_kernels_fixture.cc
+// det-lint-expect: double-accum
+//
+// Double-precision accumulation inside a float row kernel: the widened
+// sum drifts away from the fp32 rungs and breaks the ladder A/B
+// comparisons.
+#include <cstddef>
+
+float
+rowSum(const float *row, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += row[i];
+    return static_cast<float>(acc);
+}

@@ -1,0 +1,14 @@
+// det-lint-path: src/gs/fixture_monotonic_clock.cc
+// det-lint-expect: monotonic-clock
+//
+// A scattered steady_clock site in a contracted dir: timing belongs in
+// slam::Stopwatch so every clock read stays auditable.
+#include <chrono>
+
+double
+elapsed(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}

@@ -1,0 +1,17 @@
+// det-lint-path: src/gs/fixture_pointer_keyed.cc
+// det-lint-expect: pointer-keyed
+//
+// Ordering by raw pointer value: the iteration order is the allocator's
+// mood, different every run.
+#include <map>
+
+struct Node
+{
+    int id;
+};
+
+int
+firstId(const std::map<Node *, int> &ranks)
+{
+    return ranks.empty() ? -1 : ranks.begin()->first->id;
+}

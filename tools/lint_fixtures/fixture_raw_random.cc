@@ -1,0 +1,14 @@
+// det-lint-path: src/slam/fixture_raw_random.cc
+// det-lint-expect: raw-random
+//
+// Unseeded randomness outside src/common/rng.*: two runs of the same
+// input diverge.
+#include <cstdlib>
+#include <random>
+
+int
+jitter()
+{
+    std::random_device rd;
+    return static_cast<int>(rd()) + rand();
+}

@@ -1,0 +1,23 @@
+// det-lint-path: src/slam/fixture_unguarded_field.hh
+// det-lint-expect: unguarded-field
+//
+// A member declared after the Mutex with no RTGS_GUARDED_BY: either the
+// mutex guards it (annotate) or it does not (move it above the mutex).
+#include <cstddef>
+
+#define RTGS_GUARDED_BY(x)
+
+class Mutex
+{
+};
+
+class Ledger
+{
+  public:
+    void add(std::size_t n);
+
+  private:
+    mutable Mutex mutex_;
+    std::size_t guarded_ RTGS_GUARDED_BY(mutex_) = 0;
+    std::size_t forgotten_ = 0;
+};

@@ -1,0 +1,18 @@
+// det-lint-path: src/slam/fixture_unordered.cc
+// det-lint-expect: unordered-container
+//
+// Iterating an unordered container in a determinism-contracted dir:
+// hash order leaks straight into the output order.
+#include <string>
+#include <unordered_map>
+
+int
+countEntries()
+{
+    std::unordered_map<std::string, int> counts;
+    counts["a"] = 1;
+    int total = 0;
+    for (const auto &kv : counts)
+        total += kv.second;
+    return total;
+}

@@ -1,0 +1,13 @@
+// det-lint-path: src/slam/fixture_wall_clock.cc
+// det-lint-expect: wall-clock
+//
+// Wall-clock read in pipeline logic: NTP steps and DST make it
+// non-monotonic, and it differs across machines by definition.
+#include <chrono>
+
+double
+stampNow()
+{
+    auto now = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
