@@ -95,8 +95,10 @@ main()
             cfg.base.mapBatchSize = 2;
             cfg.base.multiViewWindow = 2;
             // Health monitoring rides along for free on clean input
-            // (byte-identical to monitor-off; docs/ROBUSTNESS.md).
+            // (byte-identical to monitor-off; docs/ROBUSTNESS.md),
+            // and the relocalizer stands by as the active LOST exit.
             cfg.base.health.enabled = true;
+            cfg.base.reloc.enabled = true;
         }
         cfg.enablePruning = enhanced;
         cfg.enableDownsampling = enhanced;
@@ -167,6 +169,15 @@ main()
                         health->rejectedInputs(), health->heldPoses(),
                         health->recoveries(),
                         rtgs.system().mapJobsDropped());
+            if (const slam::Relocalizer *reloc =
+                    rtgs.system().relocalizer()) {
+                std::printf("  reloc:  %zu attempts, %llu candidates, "
+                            "%zu accepted, %u frames lost\n",
+                            reloc->attempts(),
+                            static_cast<unsigned long long>(
+                                reloc->candidatesScored()),
+                            reloc->accepted(), health->framesLost());
+            }
         }
         return std::make_pair(collector.frames, ate);
     };

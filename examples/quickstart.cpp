@@ -46,6 +46,10 @@ main()
     // monitor-on run is byte-identical to monitor-off) — see
     // docs/ROBUSTNESS.md.
     config.base.health.enabled = true;
+    // Map-based relocalization: the active LOST exit. On standby it
+    // only feeds a keyframe pose/probe database; a clean run stays
+    // byte-identical to one with it disabled.
+    config.base.reloc.enabled = true;
     core::RtgsSlam rtgs(config, dataset.intrinsics());
 
     // 3. Feed frames.
@@ -121,5 +125,15 @@ main()
                 slam::healthStateName(health->state()),
                 health->rejectedInputs(), health->heldPoses(),
                 health->recoveries(), rtgs.system().mapJobsDropped());
+    if (const slam::Relocalizer *reloc = rtgs.system().relocalizer()) {
+        std::printf("  relocalizer     : %zu attempts, %llu candidates "
+                    "scored, %zu accepted, %u frames lost, "
+                    "%zu-keyframe probe database\n",
+                    reloc->attempts(),
+                    static_cast<unsigned long long>(
+                        reloc->candidatesScored()),
+                    reloc->accepted(), health->framesLost(),
+                    reloc->databaseSize());
+    }
     return 0;
 }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "data/scene.hh"
 
 namespace rtgs::data
 {
@@ -15,7 +16,8 @@ FaultSchedule::anyEnabled() const
     return dropProbability > 0 || dropBurstLength > 0 ||
            duplicateTimestampProbability > 0 || outOfOrderProbability > 0 ||
            corruptionProbability > 0 || exposureShiftProbability > 0 ||
-           depthDropoutProbability > 0;
+           depthDropoutProbability > 0 || occluderLength > 0 ||
+           motionBlurProbability > 0;
 }
 
 FaultInjector::FaultInjector(const FaultSchedule &schedule)
@@ -49,6 +51,10 @@ FaultInjector::stats() const
             ++s.exposureShifted;
         if (r.depthDropout)
             ++s.depthDropouts;
+        if (r.occluded)
+            ++s.occludedFrames;
+        if (r.motionBlurred)
+            ++s.motionBlurredFrames;
     }
     return s;
 }
@@ -100,6 +106,50 @@ FaultInjector::process(const Frame &frame)
                             period * ts_rng.uniform(0.5, 1.5);
             rec.outOfOrderTimestamp = true;
         }
+    }
+
+    // --- scene dynamics run before the transport-layer image faults:
+    // the occluder and the smear are part of the scene the camera
+    // captured, while exposure/corruption model the capture pipeline
+    // acting on that image. Fresh salts (9, 10, 11) keep the existing
+    // classes' schedules pinned when these are toggled.
+    if (schedule_.occluderLength > 0 &&
+        frame.index >= schedule_.occluderStart &&
+        frame.index <
+            schedule_.occluderStart + schedule_.occluderLength &&
+        out.rgb.pixelCount() > 0 &&
+        out.rgb.width() == out.depth.width() &&
+        out.rgb.height() == out.depth.height()) {
+        Rng rng = frameRng(9);
+        OccluderSpec spec;
+        spec.sizeFraction = schedule_.occluderSizeFraction;
+        spec.depth = schedule_.occluderDepth;
+        spec.seed = schedule_.seed ^ 0x0CC1ull;
+        // Nominal phase walks the path over the window; seeded jitter
+        // makes the gait slightly irregular without ever reordering it.
+        Real phase = (static_cast<Real>(frame.index -
+                                        schedule_.occluderStart) +
+                      Real(0.5)) /
+                     static_cast<Real>(schedule_.occluderLength);
+        phase += static_cast<Real>(rng.uniform(-0.05, 0.05));
+        rec.occluderCoverage =
+            compositeOccluder(out.rgb, out.depth, spec, phase);
+        rec.occluded = rec.occluderCoverage > 0;
+    }
+
+    if (schedule_.motionBlurProbability > 0 &&
+        frameRng(10).chance(schedule_.motionBlurProbability)) {
+        Rng rng = frameRng(11);
+        Real len = static_cast<Real>(
+            rng.uniform(0.5, 1.0) *
+            static_cast<double>(schedule_.motionBlurMaxPixels));
+        Real angle =
+            static_cast<Real>(rng.uniform(0, 2 * M_PI));
+        Vec2f motion{len * std::cos(angle), len * std::sin(angle)};
+        applyMotionBlur(out.rgb, motion,
+                        std::max<u32>(2, schedule_.motionBlurTaps));
+        rec.motionBlurred = true;
+        rec.motionBlurPixels = len;
     }
 
     // --- exposure shift: linear gain + bias on every RGB channel.

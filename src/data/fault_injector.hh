@@ -68,6 +68,27 @@ struct FaultSchedule
     // --- depth sensor dropout (whole-frame: depth image zeroed)
     Real depthDropoutProbability = 0;
 
+    // --- scene dynamics (adversarial content, not transport faults):
+    // a rigid textured occluder walks across the view during a
+    // deterministic frame window, and per-frame motion blur smears the
+    // RGB image. Both composite via data/scene.hh and draw from their
+    // own salted per-frame RNGs, so toggling them never shifts the
+    // schedules of the fault classes above.
+    /** Occluder window [occluderStart, occluderStart+occluderLength);
+     *  0 length disables. */
+    u32 occluderStart = 0;
+    u32 occluderLength = 0;
+    /** Occluder diameter as a fraction of image width. */
+    Real occluderSizeFraction = Real(0.45);
+    /** Occluder distance from the camera (metres). */
+    Real occluderDepth = Real(0.55);
+    /** Per-frame probability of a motion-blur smear. */
+    Real motionBlurProbability = 0;
+    /** Maximum smear length (pixels; actual length is drawn per frame). */
+    Real motionBlurMaxPixels = Real(8);
+    /** Samples averaged along the smear. */
+    u32 motionBlurTaps = 7;
+
     /** True when any fault class can fire. */
     bool anyEnabled() const;
 };
@@ -82,10 +103,16 @@ struct FaultRecord
     bool corrupted = false;
     bool exposureShifted = false;
     bool depthDropout = false;
+    bool occluded = false;
+    bool motionBlurred = false;
     Real exposureGain = Real(1);
     Real exposureBias = 0;
     /** Corrupted rectangle (x, y, w, h); zero-sized when !corrupted. */
     u32 corruptX = 0, corruptY = 0, corruptW = 0, corruptH = 0;
+    /** Fraction of image pixels the occluder covered this frame. */
+    Real occluderCoverage = 0;
+    /** Smear length in pixels when motionBlurred. */
+    Real motionBlurPixels = 0;
 };
 
 /** Aggregate fault counts over a run (sums of per-frame records). */
@@ -98,6 +125,8 @@ struct FaultStats
     size_t corrupted = 0;
     size_t exposureShifted = 0;
     size_t depthDropouts = 0;
+    size_t occludedFrames = 0;
+    size_t motionBlurredFrames = 0;
 };
 
 /**

@@ -234,4 +234,112 @@ buildScene(const SceneConfig &config)
     return cloud;
 }
 
+// ------------------------------------------------- scene dynamics
+
+Real
+compositeOccluder(ImageRGB &rgb, ImageF &depth, const OccluderSpec &spec,
+                  Real phase)
+{
+    rtgs_assert(rgb.width() == depth.width() &&
+                rgb.height() == depth.height());
+    if (rgb.pixelCount() == 0 || spec.sizeFraction <= 0)
+        return 0;
+
+    const Real w = static_cast<Real>(rgb.width());
+    const Real h = static_cast<Real>(rgb.height());
+    Real t = std::clamp(phase, Real(0), Real(1));
+    Real cx = (spec.pathStart.x + (spec.pathEnd.x - spec.pathStart.x) * t) * w;
+    Real cy = (spec.pathStart.y + (spec.pathEnd.y - spec.pathStart.y) * t) * h;
+    Real radius = Real(0.5) * spec.sizeFraction * w;
+    if (radius <= 0)
+        return 0;
+
+    // Only pixels inside the disc's bounding box can be covered.
+    i64 x_lo = std::max<i64>(0, static_cast<i64>(std::floor(cx - radius)));
+    i64 x_hi = std::min<i64>(rgb.width() - 1,
+                             static_cast<i64>(std::ceil(cx + radius)));
+    i64 y_lo = std::max<i64>(0, static_cast<i64>(std::floor(cy - radius)));
+    i64 y_hi = std::min<i64>(rgb.height() - 1,
+                             static_cast<i64>(std::ceil(cy + radius)));
+
+    size_t covered = 0;
+    for (i64 y = y_lo; y <= y_hi; ++y) {
+        for (i64 x = x_lo; x <= x_hi; ++x) {
+            Real dx = static_cast<Real>(x) - cx;
+            Real dy = static_cast<Real>(y) - cy;
+            Real r2 = dx * dx + dy * dy;
+            if (r2 > radius * radius)
+                continue;
+            // Texture in the OBJECT frame (offsets from the disc
+            // centre, radius-normalised): the pattern travels with the
+            // disc, so across frames it reads as a rigid body.
+            Vec3f op{dx / radius, dy / radius,
+                     std::sqrt(std::max(Real(0),
+                                        Real(1) - r2 / (radius * radius)))};
+            Real n1 = valueNoise3(op * spec.textureFrequency, spec.seed);
+            Real n2 = valueNoise3(op * (spec.textureFrequency * Real(2.7)),
+                                  spec.seed ^ 0x51DEull);
+            Real shade = Real(0.25) + Real(0.55) * n1 + Real(0.20) * n2;
+            // Cheap lambert-ish rim darkening sells the 3D shape.
+            shade *= Real(0.35) + Real(0.65) * op.z;
+            auto px = static_cast<u32>(x);
+            auto py = static_cast<u32>(y);
+            rgb.at(px, py) = {std::clamp(shade * Real(0.9), Real(0), Real(1)),
+                              std::clamp(shade * Real(0.55), Real(0), Real(1)),
+                              std::clamp(shade * Real(0.4), Real(0), Real(1))};
+            depth.at(px, py) =
+                std::max(Real(0.01), spec.depth * (Real(2) - op.z));
+            ++covered;
+        }
+    }
+    return static_cast<Real>(covered) / static_cast<Real>(rgb.pixelCount());
+}
+
+void
+applyMotionBlur(ImageRGB &rgb, const Vec2f &motion_px, u32 taps)
+{
+    if (rgb.pixelCount() == 0 || taps < 2)
+        return;
+    if (std::abs(motion_px.x) < Real(0.5) &&
+        std::abs(motion_px.y) < Real(0.5))
+        return; // sub-pixel smear: a no-op, skip the copy
+
+    const i64 w = rgb.width();
+    const i64 h = rgb.height();
+    const ImageRGB src = rgb; // sample the sharp frame, write the smear
+
+    auto sample = [&](Real sx, Real sy) -> Vec3f {
+        // Clamped bilinear fetch from the sharp source image.
+        sx = std::clamp(sx, Real(0), static_cast<Real>(w - 1));
+        sy = std::clamp(sy, Real(0), static_cast<Real>(h - 1));
+        i64 x0 = static_cast<i64>(sx);
+        i64 y0 = static_cast<i64>(sy);
+        i64 x1 = std::min(x0 + 1, w - 1);
+        i64 y1 = std::min(y0 + 1, h - 1);
+        Real fx = sx - static_cast<Real>(x0);
+        Real fy = sy - static_cast<Real>(y0);
+        const Vec3f &c00 = src.at(static_cast<u32>(x0), static_cast<u32>(y0));
+        const Vec3f &c10 = src.at(static_cast<u32>(x1), static_cast<u32>(y0));
+        const Vec3f &c01 = src.at(static_cast<u32>(x0), static_cast<u32>(y1));
+        const Vec3f &c11 = src.at(static_cast<u32>(x1), static_cast<u32>(y1));
+        return c00 * ((1 - fx) * (1 - fy)) + c10 * (fx * (1 - fy)) +
+               c01 * ((1 - fx) * fy) + c11 * (fx * fy);
+    };
+
+    const Real inv = Real(1) / static_cast<Real>(taps);
+    for (i64 y = 0; y < h; ++y) {
+        for (i64 x = 0; x < w; ++x) {
+            Vec3f acc{0, 0, 0};
+            for (u32 k = 0; k < taps; ++k) {
+                // Taps span [-0.5, +0.5] of the motion vector, centred
+                // on the pixel, so the smear does not shift the image.
+                Real a = (static_cast<Real>(k) + Real(0.5)) * inv - Real(0.5);
+                acc = acc + sample(static_cast<Real>(x) + a * motion_px.x,
+                                   static_cast<Real>(y) + a * motion_px.y);
+            }
+            rgb.at(static_cast<u32>(x), static_cast<u32>(y)) = acc * inv;
+        }
+    }
+}
+
 } // namespace rtgs::data

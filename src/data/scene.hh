@@ -18,6 +18,7 @@
 
 #include "common/rng.hh"
 #include "gs/gaussian.hh"
+#include "image/image.hh"
 
 namespace rtgs::data
 {
@@ -45,6 +46,52 @@ Real valueNoise3(const Vec3f &p, u64 seed);
 
 /** Build the ground-truth Gaussian cloud for a scene configuration. */
 gs::GaussianCloud buildScene(const SceneConfig &config);
+
+// ------------------------------------------------- scene dynamics
+//
+// The static scenes above violate two assumptions real streams break
+// all the time: nothing moves, and exposure is instantaneous. The
+// compositing functions below synthesise exactly those adversities —
+// a rigid textured object crossing the view (a person walking through
+// the frame) and directional shutter smear (fast handheld motion).
+// Both are pure functions of their arguments, so faulted streams stay
+// reproducible bit-for-bit; data::FaultInjector schedules them.
+
+/** A rigid, near-field disc-shaped occluder composited into a frame. */
+struct OccluderSpec
+{
+    /** Occluder diameter as a fraction of the image width. */
+    Real sizeFraction = Real(0.5);
+    /** Distance from the camera (metres); written into the depth
+     *  image, so the object genuinely occludes the scene geometry. */
+    Real depth = Real(0.55);
+    /** Texture busyness on the object's surface. */
+    Real textureFrequency = Real(9);
+    /** Texture seed (object appearance is a pure function of it). */
+    u64 seed = 7;
+    /** Path endpoints of the disc centre in normalised image
+     *  coordinates ([0,1]^2; values outside enter/exit the frame). */
+    Vec2f pathStart{Real(-0.35), Real(0.5)};
+    Vec2f pathEnd{Real(1.35), Real(0.5)};
+};
+
+/**
+ * Composite the occluder at `phase` in [0,1] along its path: covered
+ * pixels get the object's procedural texture and its (near) depth.
+ * The texture rides the object frame, so the disc moves as a rigid
+ * body rather than a shimmering hole. Returns the fraction of image
+ * pixels covered.
+ */
+Real compositeOccluder(ImageRGB &rgb, ImageF &depth,
+                       const OccluderSpec &spec, Real phase);
+
+/**
+ * Directional shutter smear: every pixel becomes the average of
+ * `taps` samples along `motion_px` (pixels, full smear length),
+ * bilinearly interpolated and edge-clamped. RGB only — depth cameras
+ * gate exposure separately, so depth stays sharp.
+ */
+void applyMotionBlur(ImageRGB &rgb, const Vec2f &motion_px, u32 taps);
 
 } // namespace rtgs::data
 

@@ -97,6 +97,40 @@ HealthMonitor::noteRejected()
     escalateSuspect();
     if (state_ != HealthState::Ok)
         ++framesSinceHealthy_;
+    if (state_ == HealthState::Lost)
+        ++framesLost_;
+}
+
+void
+HealthMonitor::noteRelocalized()
+{
+    affinity_.assertHeld();
+    // The active LOST exit: the frame's pose came from an accepted
+    // map-based relocalization, so the suspicion streak is over and
+    // the passive re-anchor is moot (the caller forces a keyframe at
+    // the relocalized pose on this frame). Confirmation still takes
+    // recoveryOkFrames clean frames before the state returns to Ok.
+    state_ = HealthState::Relocalizing;
+    consecutiveSuspect_ = 0;
+    consecutiveClean_ = 0;
+    needReanchor_ = false;
+    ++relocalizations_;
+    ++framesSinceHealthy_;
+}
+
+void
+HealthMonitor::noteRelocalizationFailed()
+{
+    affinity_.assertHeld();
+    // A rejected attempt behaves like any other suspect frame: the
+    // pose was held and the state stays Lost (escalateSuspect() never
+    // demotes), the clean streak resets.
+    escalateSuspect();
+    ++heldPoses_;
+    if (state_ != HealthState::Ok)
+        ++framesSinceHealthy_;
+    if (state_ == HealthState::Lost)
+        ++framesLost_;
 }
 
 FrameAdvice
@@ -140,8 +174,16 @@ HealthMonitor::stepClean(Assessment &out)
         return;
     consecutiveSuspect_ = 0;
     ++consecutiveClean_;
-    if (state_ == HealthState::Lost)
+    if (state_ == HealthState::Lost) {
+        // Passive LOST exit goes through probation: a Lost tracker may
+        // only leave on sustained clean re-convergence (the active
+        // exit, an accepted relocalization, uses noteRelocalized()
+        // instead). The recovery clock to Ok restarts after probation.
+        if (consecutiveClean_ < config_.lostProbationFrames)
+            return;
         state_ = HealthState::Relocalizing;
+        consecutiveClean_ = 0;
+    }
     if (needReanchor_) {
         // Re-anchor: force a keyframe on the first clean frame so the
         // map absorbs a fresh, trusted view at the recovered pose.
@@ -208,6 +250,8 @@ HealthMonitor::assess(const AssessInput &in)
     }
     if (state_ != HealthState::Ok)
         ++framesSinceHealthy_;
+    if (state_ == HealthState::Lost)
+        ++framesLost_;
     out.state = state_;
     return out;
 }
@@ -229,6 +273,8 @@ HealthMonitor::reset()
     haveLossEma_ = false;
     lastTimestamp_ = 0;
     haveTimestamp_ = false;
+    // relocalizations_/framesLost_ survive, like the other run stats
+    // (recoveries_, rejectedInputs_, heldPoses_).
 }
 
 } // namespace rtgs::slam

@@ -23,6 +23,12 @@
  * keyframe that re-anchors the map on the first clean frame. The
  * OK / RELOCALIZING / LOST state is surfaced per frame in FrameReport.
  *
+ * LOST has two exits: the active one — an accepted map-based
+ * relocalization (slam::Relocalizer, reported via noteRelocalized()) —
+ * and a passive probation window (lostProbationFrames consecutive
+ * clean frames of re-converged tracking). See docs/ROBUSTNESS.md for
+ * the full escalation table.
+ *
  * The monitor is pure bookkeeping: with clean input and converging
  * tracking it never alters a pose, budget, or keyframe decision, so a
  * monitor-on run of a fault-free stream is byte-identical to a
@@ -97,6 +103,15 @@ struct HealthConfig
     u32 recoveryOkFrames = 2;
     /** Consecutive suspect frames before declaring Lost. */
     u32 lostPatience = 5;
+    /**
+     * LOST exit probation: consecutive clean frames required before
+     * passive re-convergence may leave Lost (the recovery clock to Ok
+     * restarts after probation, so the passive exit takes
+     * lostProbationFrames + recoveryOkFrames clean frames total). An
+     * accepted relocalization (noteRelocalized()) is the active exit
+     * and skips probation. 0 leaves Lost on the first clean frame.
+     */
+    u32 lostProbationFrames = 2;
 };
 
 /** Pre-track input-validation verdict. */
@@ -198,6 +213,22 @@ class HealthMonitor
         return heldPoses_;
     }
 
+    /** Accepted relocalizations (active LOST exits). */
+    size_t
+    relocalizations() const
+    {
+        affinity_.assertHeld();
+        return relocalizations_;
+    }
+
+    /** Cumulative frames that ended a step in the Lost state. */
+    u32
+    framesLost() const
+    {
+        affinity_.assertHeld();
+        return framesLost_;
+    }
+
     /** Validate the next frame's input before tracking. */
     InputCheck checkInput(const data::Frame &frame);
 
@@ -210,6 +241,23 @@ class HealthMonitor
 
     /** Post-track divergence assessment + state-machine step. */
     Assessment assess(const AssessInput &in);
+
+    /**
+     * An accepted relocalization replaced this frame's pose: the
+     * active LOST exit. Moves Lost -> Relocalizing immediately (no
+     * probation), clears the suspicion streak, and cancels the pending
+     * passive re-anchor — the caller forces a keyframe at the
+     * relocalized pose on this very frame. Called INSTEAD of assess()
+     * for the frame.
+     */
+    void noteRelocalized();
+
+    /**
+     * A relocalization attempt ran and was rejected (probe PSNR below
+     * the accept threshold): the pose was held, the state stays Lost.
+     * Called INSTEAD of assess() for the frame.
+     */
+    void noteRelocalizationFailed();
 
     /** Drop all history; the state returns to Ok. */
     void reset();
@@ -237,6 +285,8 @@ class HealthMonitor
     size_t recoveries_ RTGS_GUARDED_BY(affinity_) = 0;
     size_t rejectedInputs_ RTGS_GUARDED_BY(affinity_) = 0;
     size_t heldPoses_ RTGS_GUARDED_BY(affinity_) = 0;
+    size_t relocalizations_ RTGS_GUARDED_BY(affinity_) = 0;
+    u32 framesLost_ RTGS_GUARDED_BY(affinity_) = 0;
 };
 
 } // namespace rtgs::slam

@@ -158,6 +158,14 @@ SlamSystem::SlamSystem(const SlamConfig &config,
 
     if (config.health.enabled)
         health_ = std::make_unique<HealthMonitor>(config.health);
+    if (config.reloc.enabled) {
+        if (!config.health.enabled) {
+            warn("relocalizer enabled without the health monitor; it "
+                 "can never engage (no LOST state) and stays off");
+        } else {
+            reloc_ = std::make_unique<Relocalizer>(config.reloc);
+        }
+    }
 }
 
 void
@@ -288,8 +296,11 @@ SlamSystem::constantVelocityGuess() const
     size_t n = trajectory_.size();
     if (n == 0)
         return SE3::identity();
-    if (n == 1)
-        return trajectory_[0];
+    // Right after an accepted relocalization the previous-to-last pose
+    // is pre-discontinuity: extrapolating across the correction would
+    // throw the guess far off. Assume zero velocity for that one frame.
+    if (n == 1 || n - 1 == velocityResetIndex_)
+        return trajectory_[n - 1];
     // delta maps pose[n-2] to pose[n-1]; apply it once more.
     SE3 delta = trajectory_[n - 1] * trajectory_[n - 2].inverse();
     return delta * trajectory_[n - 1];
@@ -472,7 +483,8 @@ SlamSystem::predictKeyframe(const data::Frame &frame) const
 SE3
 SlamSystem::stageTrack(const data::Frame &frame, Real tracking_scale,
                        const FrameBudget *budget, FrameReport &report,
-                       bool ignore_depth)
+                       bool ignore_depth, const SE3 *init_override,
+                       Tracker *tracker_override)
 {
     if (!bootstrapped_) {
         // Frame 0 anchors the world frame (standard SLAM convention).
@@ -480,7 +492,7 @@ SlamSystem::stageTrack(const data::Frame &frame, Real tracking_scale,
         return frame.gtPose;
     }
 
-    SE3 guess = constantVelocityGuess();
+    SE3 guess = init_override ? *init_override : constantVelocityGuess();
     StageProfiler::Scope scope(profiler_, "tracking");
     Stopwatch watch;
     SE3 pose;
@@ -496,6 +508,7 @@ SlamSystem::stageTrack(const data::Frame &frame, Real tracking_scale,
         // Health-detected depth dropout: track RGB-only rather than
         // against a blanked sensor.
         const ImageF *depth = ignore_depth ? nullptr : &obs.depth();
+        Tracker &tracker = tracker_override ? *tracker_override : tracker_;
         TrackResult tr;
         if (mapWorker_) {
             // Async mode: render against a copy-on-write clone of the
@@ -505,13 +518,13 @@ SlamSystem::stageTrack(const data::Frame &frame, Real tracking_scale,
             // pruning hook masks/compacts it mid-frame exactly as it
             // would the authoritative cloud in sync mode.
             refreshTrackingClone(frame, report);
-            tr = tracker_.track(pipeline_, trackCloud_, obs.intr, guess,
-                                obs.rgb(), depth, trackHook_,
-                                track_budget, allow_exceed);
+            tr = tracker.track(pipeline_, trackCloud_, obs.intr, guess,
+                               obs.rgb(), depth, trackHook_,
+                               track_budget, allow_exceed);
         } else {
-            tr = tracker_.track(pipeline_, syncCloud(), obs.intr, guess,
-                                obs.rgb(), depth, trackHook_,
-                                track_budget, allow_exceed);
+            tr = tracker.track(pipeline_, syncCloud(), obs.intr, guess,
+                               obs.rgb(), depth, trackHook_,
+                               track_budget, allow_exceed);
         }
         pose = tr.pose;
         report.trackLoss = tr.finalLoss;
@@ -797,6 +810,7 @@ SlamSystem::rejectFrame(FrameReport &report)
     report.pose = pose;
     report.healthState = health_->state();
     report.framesSinceHealthy = health_->framesSinceHealthy();
+    report.framesLost = health_->framesLost();
     trajectory_.push_back(pose);
     fillMapFootprint(report);
     MutexLock lock(reportMutex_);
@@ -840,6 +854,86 @@ SlamSystem::probePsnr(const data::Frame &frame, const SE3 &pose)
     gs::ForwardContext ctx = pipeline_.forward(*cloud, cam);
     double db = psnr(ctx.result.image, obs.rgb());
     return std::isfinite(db) ? db : 99.0; // identical probes: cap
+}
+
+bool
+SlamSystem::stageRelocalize(const data::Frame &frame,
+                            Real tracking_scale, FrameReport &report,
+                            SE3 &pose_out)
+{
+    StageProfiler::Scope scope(profiler_, "relocalize");
+    // Score against what tracking would render against: the COW clone
+    // of the newest published snapshot in async mode (refreshing it
+    // here never blocks an in-flight map batch), the authoritative
+    // cloud in sync mode where the frame loop is the only mutator.
+    if (mapWorker_)
+        refreshTrackingClone(frame, report);
+    const gs::GaussianCloud &cloud = trackingCloud();
+    if (cloud.empty())
+        return false; // nothing to search against yet; retry next frame
+
+    // One downsampled observation shared by every candidate render.
+    Real scale = std::min(
+        Real(1),
+        static_cast<Real>(config_.reloc.probeWidth) /
+            static_cast<Real>(std::max<u32>(1, frame.rgb.width())));
+    PreprocessedObservation obs =
+        preprocessObservation(frame, intrinsics_, scale);
+    auto score = [&](const SE3 &p) {
+        Camera cam(obs.intr, p);
+        gs::ForwardContext ctx = pipeline_.forward(cloud, cam);
+        double db = psnr(ctx.result.image, obs.rgb());
+        return std::isfinite(db) ? db : 99.0; // identical probes: cap
+    };
+
+    report.relocAttempts = 1;
+    RelocSearchResult found =
+        reloc_->search(frame.index, reloc_->makeProbe(frame.rgb), score);
+    report.relocCandidatesScored = found.candidatesScored;
+    if (!found.hasCandidate) {
+        reloc_->noteOutcome(frame.index, false);
+        return false;
+    }
+
+    // Refinement burst: full tracking from the best candidate with a
+    // boosted iteration budget (the recovery boost's bigger sibling).
+    FrameBudget burst;
+    burst.trackIterations = std::max(
+        config_.tracker.iterations + 1,
+        static_cast<u32>(
+            std::ceil(static_cast<Real>(config_.tracker.iterations) *
+                      std::max(Real(1),
+                               config_.reloc.refineBoostFactor))));
+    burst.allowExceed = true;
+    report.budgetBoosted = true;
+    report.trackIterationBudget = burst.trackIterations;
+    report.mapIterationBudget = 0;
+    // Cold-start refinement: the incremental tracker's decayed
+    // learning rates bound its total correction to a warm-start-sized
+    // step, so the burst runs a dedicated tracker scaled for the
+    // multi-keyframe distance a candidate starts from.
+    TrackerConfig refine_cfg = config_.tracker;
+    refine_cfg.lrTranslation *=
+        std::max(Real(1), config_.reloc.refineLrScale);
+    refine_cfg.lrRotation *=
+        std::max(Real(1), config_.reloc.refineLrScale);
+    refine_cfg.lrDecay =
+        std::clamp(config_.reloc.refineLrDecay, Real(0.5), Real(1));
+    refine_cfg.earlyStop = false;
+    Tracker refiner(refine_cfg);
+    SE3 refined = stageTrack(frame, tracking_scale, &burst, report,
+                             /*ignore_depth=*/false, &found.bestPose,
+                             &refiner);
+
+    // Accept only when the refined pose genuinely explains the frame.
+    double verify = score(refined);
+    report.relocProbePsnr = verify;
+    bool accept =
+        verify >= static_cast<double>(config_.reloc.acceptPsnrMinDb);
+    reloc_->noteOutcome(frame.index, accept);
+    if (accept)
+        pose_out = refined;
+    return accept;
 }
 
 FrameReport
@@ -888,14 +982,53 @@ SlamSystem::processFrame(const data::Frame &frame, Real tracking_scale,
     if (health_ && was_bootstrapped)
         guess = constantVelocityGuess();
 
-    SE3 pose =
-        stageTrack(frame, tracking_scale, budget, report, ignore_depth);
+    // --- relocalization: the final escalation rung. Only reached in
+    // the Lost state (and on the backoff schedule), so the clean path
+    // never pays for it and never diverges byte-wise.
+    bool reloc_attempted = false;
+    bool reloc_accepted = false;
+    SE3 pose;
+    if (reloc_ && health_ && was_bootstrapped &&
+        health_->state() == HealthState::Lost &&
+        reloc_->shouldAttempt(frame.index)) {
+        reloc_attempted = true;
+        reloc_accepted =
+            stageRelocalize(frame, tracking_scale, report, pose);
+    }
+    if (!reloc_attempted) {
+        pose = stageTrack(frame, tracking_scale, budget, report,
+                          ignore_depth);
+    } else if (!reloc_accepted) {
+        // Rejected attempt: hold the coast pose, exactly like any
+        // other suspect frame.
+        pose = guess;
+    }
 
     // --- tracking-health: divergence assessment sits between the
-    // track stage and the keyframe decision.
+    // track stage and the keyframe decision. A relocalization attempt
+    // replaces the assessment for its frame: the verdict is the
+    // accept/reject decision itself.
     bool kf_override_value = false;
     const bool *kf_override = force_keyframe;
-    if (health_ && was_bootstrapped) {
+    if (health_ && was_bootstrapped && reloc_attempted) {
+        if (reloc_accepted) {
+            health_->noteRelocalized();
+            report.relocAccepted = true;
+            // Re-anchor the map at the relocalized pose immediately,
+            // and stop the motion model extrapolating the correction.
+            kf_override_value = true;
+            kf_override = &kf_override_value;
+            report.forcedRecoveryKeyframe = true;
+            velocityResetIndex_ = trajectory_.size();
+        } else {
+            health_->noteRelocalizationFailed();
+            report.poseHeld = true;
+            kf_override_value = false;
+            kf_override = &kf_override_value;
+        }
+        report.healthState = health_->state();
+        report.framesSinceHealthy = health_->framesSinceHealthy();
+    } else if (health_ && was_bootstrapped) {
         AssessInput in;
         in.trackLoss = report.trackLoss;
         in.haveLoss = config_.algorithm != BaseAlgorithm::PhotoSlam;
@@ -926,11 +1059,18 @@ SlamSystem::processFrame(const data::Frame &frame, Real tracking_scale,
             report.forcedRecoveryKeyframe = true;
         }
     }
+    if (health_)
+        report.framesLost = health_->framesLost();
 
     trajectory_.push_back(pose);
 
     report.isKeyframe = stageKeyframeDecision(frame, pose, kf_override);
     report.pose = pose;
+
+    // Feed the relocalizer's pose/probe database from the keyframe
+    // decision: every accepted keyframe is a future anchor.
+    if (reloc_ && report.isKeyframe)
+        reloc_->noteKeyframe(frame.index, pose, frame.rgb);
 
     bool async_map = report.isKeyframe && mapWorker_ != nullptr;
     if (report.isKeyframe && !async_map)

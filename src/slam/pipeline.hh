@@ -28,6 +28,7 @@
 #include "data/dataset.hh"
 #include "slam/health_monitor.hh"
 #include "slam/keyframe.hh"
+#include "slam/relocalizer.hh"
 #include "slam/map_worker.hh"
 #include "slam/mapper.hh"
 #include "slam/preprocess.hh"
@@ -123,6 +124,15 @@ struct SlamConfig
      * output stays byte-identical either way.
      */
     HealthConfig health;
+
+    /**
+     * Map-based relocalization for LOST recovery (the final rung of
+     * the health escalation). Requires the health monitor: the
+     * relocalizer only engages while the monitor reports Lost, so on
+     * clean input (or with health disabled) an enabled relocalizer
+     * never changes the output. See src/slam/relocalizer.hh.
+     */
+    RelocalizerConfig reloc;
 
     /**
      * Approximation-ladder rung (gs::PipelinePreset). `precise` (the
@@ -223,6 +233,20 @@ struct FrameReport
     /** This keyframe's async map job was evicted by the overflow
      *  policy and never mapped (mapLoss/densified stay zero). */
     bool mapJobDropped = false;
+
+    // Relocalization observability (all neutral unless
+    // config.reloc.enabled and the monitor went Lost).
+    /** Relocalization attempts on this frame (0 or 1). */
+    u32 relocAttempts = 0;
+    /** Candidate poses probe-scored by this frame's attempt. */
+    u32 relocCandidatesScored = 0;
+    /** Probe PSNR (dB) of the refined relocalization pose when an
+     *  attempt ran; -1 otherwise. */
+    double relocProbePsnr = -1;
+    /** This frame's pose came from an accepted relocalization. */
+    bool relocAccepted = false;
+    /** Cumulative frames the monitor has reported Lost so far. */
+    u32 framesLost = 0;
 };
 
 /**
@@ -345,6 +369,10 @@ class SlamSystem
     /** The tracking-health monitor; null unless config.health.enabled. */
     const HealthMonitor *healthMonitor() const { return health_.get(); }
 
+    /** The relocalizer; null unless config.reloc.enabled (and the
+     *  health monitor is on — it is the monitor's LOST exit). */
+    const Relocalizer *relocalizer() const { return reloc_.get(); }
+
     /** Async map jobs evicted by the overflow policy (0 in sync mode). */
     size_t
     mapJobsDropped() const
@@ -453,10 +481,23 @@ class SlamSystem
 
     // ------------------------------------------------- frame stages
     /** Preprocess + track: returns the frame's pose estimate.
-     *  `ignore_depth` tracks RGB-only (health-detected depth dropout). */
+     *  `ignore_depth` tracks RGB-only (health-detected depth dropout);
+     *  `init_override` replaces the constant-velocity initial pose
+     *  (the relocalizer's refinement burst starts from its best
+     *  candidate instead); `tracker_override` swaps in a differently
+     *  configured tracker (the burst's cold-start optimizer). */
     SE3 stageTrack(const data::Frame &frame, Real tracking_scale,
                    const FrameBudget *budget, FrameReport &report,
-                   bool ignore_depth = false);
+                   bool ignore_depth = false,
+                   const SE3 *init_override = nullptr,
+                   Tracker *tracker_override = nullptr);
+
+    /** Relocalization stage (LOST only): deterministic candidate
+     *  search scored by downsampled probe renders, then a boosted
+     *  refinement burst. Returns true and fills `pose_out` when the
+     *  refined pose's probe PSNR clears the accept threshold. */
+    bool stageRelocalize(const data::Frame &frame, Real tracking_scale,
+                         FrameReport &report, SE3 &pose_out);
 
     /** Health path: skip a rejected frame — hold the constant-velocity
      *  pose, no keyframe, prev-frame tracking state untouched. */
@@ -569,6 +610,14 @@ class SlamSystem
     /** Tracking-health monitor; null unless config.health.enabled.
      *  Thread-confined internally via its ThreadAffinity capability. */
     std::unique_ptr<HealthMonitor> health_;
+    /** Map-based relocalizer; null unless config.reloc.enabled AND the
+     *  health monitor exists. Thread-confined like the monitor. */
+    std::unique_ptr<Relocalizer> reloc_;
+    /** Trajectory index of the last accepted relocalization pose: the
+     *  constant-velocity model must not extrapolate the correction
+     *  jump, so the guess right after a relocalization is
+     *  zero-velocity. ~0 = none. */
+    size_t velocityResetIndex_ = ~size_t(0);
     /** Per-frame tracking clone of the snapshot. */
     gs::GaussianCloud trackCloud_;
     /** Generation trackCloud_ was cloned from (the sentinel forces the

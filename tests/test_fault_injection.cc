@@ -284,6 +284,108 @@ TEST(FaultInjector, DepthDropoutZeroesWholeDepthImage)
     EXPECT_EQ(out->rgb[0].x, src.rgb[0].x);
 }
 
+TEST(FaultInjector, OccluderCompositesExactWindowDeterministically)
+{
+    FaultSchedule schedule;
+    schedule.seed = 21;
+    schedule.occluderStart = 3;
+    schedule.occluderLength = 4;
+    schedule.occluderSizeFraction = Real(0.6);
+    EXPECT_TRUE(schedule.anyEnabled());
+
+    FaultInjector a(schedule), b(schedule);
+    for (u32 i = 0; i < 10; ++i) {
+        Frame src = makeFrame(i);
+        auto oa = a.process(src);
+        auto ob = b.process(src);
+        ASSERT_TRUE(oa.has_value());
+        bool in_window = i >= 3 && i < 7;
+        EXPECT_EQ(a.lastRecord().occluded, in_window) << "frame " << i;
+        if (in_window) {
+            EXPECT_GT(a.lastRecord().occluderCoverage, Real(0));
+            // Same schedule => bitwise-identical composite (position,
+            // texture, and depth writes all flow from salted draws).
+            for (size_t p = 0; p < oa->rgb.pixelCount(); ++p) {
+                EXPECT_EQ(std::memcmp(&(*oa).rgb[p], &(*ob).rgb[p],
+                                      sizeof(Vec3f)),
+                          0);
+                EXPECT_EQ((*oa).depth[p], (*ob).depth[p]);
+            }
+        } else {
+            // Outside the window the frame passes through untouched.
+            for (size_t p = 0; p < oa->rgb.pixelCount(); ++p)
+                EXPECT_EQ((*oa).rgb[p].x, src.rgb[p].x);
+        }
+    }
+    EXPECT_EQ(a.stats().occludedFrames, 4u);
+}
+
+TEST(FaultInjector, MotionBlurSmearsDeterministically)
+{
+    FaultSchedule schedule;
+    schedule.seed = 22;
+    schedule.motionBlurProbability = Real(1);
+    schedule.motionBlurMaxPixels = Real(5);
+    EXPECT_TRUE(schedule.anyEnabled());
+
+    FaultInjector a(schedule), b(schedule);
+    for (u32 i = 0; i < 6; ++i) {
+        Frame src = makeFrame(i);
+        auto oa = a.process(src);
+        auto ob = b.process(src);
+        ASSERT_TRUE(oa.has_value());
+        EXPECT_TRUE(a.lastRecord().motionBlurred);
+        EXPECT_GT(a.lastRecord().motionBlurPixels, Real(0));
+        bool changed = false;
+        for (size_t p = 0; p < oa->rgb.pixelCount(); ++p) {
+            EXPECT_EQ(std::memcmp(&(*oa).rgb[p], &(*ob).rgb[p],
+                                  sizeof(Vec3f)),
+                      0);
+            changed = changed || (*oa).rgb[p].x != src.rgb[p].x;
+        }
+        EXPECT_TRUE(changed) << "blur must actually smear frame " << i;
+        // Depth is untouched by motion blur.
+        EXPECT_EQ((*oa).depth[0], src.depth[0]);
+    }
+    EXPECT_EQ(a.stats().motionBlurredFrames, 6u);
+}
+
+TEST(FaultInjector, SceneDynamicsDrawIndependently)
+{
+    // Enabling the scene-dynamics classes must not change WHICH
+    // frames the pre-existing classes perturb: each class draws from
+    // its own salted stream of (seed, frame index), so toggling the
+    // occluder or motion blur never shifts a drop/corruption/exposure
+    // schedule that a committed bench baseline depends on.
+    FaultSchedule base;
+    base.seed = 11;
+    base.dropProbability = Real(0.2);
+    base.corruptionProbability = Real(0.3);
+    base.exposureShiftProbability = Real(0.3);
+    base.depthDropoutProbability = Real(0.2);
+    base.outOfOrderProbability = Real(0.2);
+
+    FaultSchedule dynamics = base;
+    dynamics.occluderStart = 2;
+    dynamics.occluderLength = 30;
+    dynamics.motionBlurProbability = Real(0.5);
+
+    FaultInjector a(base), b(dynamics);
+    for (u32 i = 0; i < 40; ++i) {
+        a.process(makeFrame(i));
+        b.process(makeFrame(i));
+        const FaultRecord &ra = a.records()[i];
+        const FaultRecord &rb = b.records()[i];
+        EXPECT_EQ(ra.dropped, rb.dropped) << "frame " << i;
+        EXPECT_EQ(ra.corrupted, rb.corrupted) << "frame " << i;
+        EXPECT_EQ(ra.exposureShifted, rb.exposureShifted)
+            << "frame " << i;
+        EXPECT_EQ(ra.depthDropout, rb.depthDropout) << "frame " << i;
+        EXPECT_EQ(ra.outOfOrderTimestamp, rb.outOfOrderTimestamp)
+            << "frame " << i;
+    }
+}
+
 TEST(FaultInjector, StatsAggregateRecords)
 {
     FaultSchedule schedule;

@@ -206,14 +206,27 @@ TEST(HealthMonitor, EscalatesToLostAndRecovers)
     EXPECT_EQ(a.state, HealthState::Lost) << "lostPatience=3 reached";
     EXPECT_GE(monitor.framesSinceHealthy(), 3u);
 
-    // Recovery: first clean frame leaves Lost and re-anchors the map.
+    // Passive recovery goes through probation: Lost only exits after
+    // lostProbationFrames consecutive clean frames (the active exit,
+    // an accepted relocalization, is tested in test_relocalizer.cc).
     a = monitor.assess(cleanAssess());
     EXPECT_FALSE(a.suspect);
-    EXPECT_TRUE(a.forceKeyframe) << "re-anchor fires on first clean frame";
+    EXPECT_EQ(a.state, HealthState::Lost)
+        << "one clean frame is not enough to leave Lost";
+    EXPECT_FALSE(a.forceKeyframe);
+
+    a = monitor.assess(cleanAssess());
+    EXPECT_EQ(a.state, HealthState::Relocalizing)
+        << "lostProbationFrames=2 clean frames end probation";
+    EXPECT_TRUE(a.forceKeyframe)
+        << "re-anchor fires on the frame that exits probation";
+
+    // The recovery clock to Ok restarts after probation.
+    a = monitor.assess(cleanAssess());
+    EXPECT_FALSE(a.forceKeyframe) << "re-anchor fires exactly once";
     EXPECT_EQ(a.state, HealthState::Relocalizing);
 
     a = monitor.assess(cleanAssess());
-    EXPECT_FALSE(a.forceKeyframe) << "re-anchor fires exactly once";
     EXPECT_EQ(a.state, HealthState::Ok)
         << "recoveryOkFrames=2 clean frames restore Ok";
     EXPECT_EQ(monitor.framesSinceHealthy(), 0u);
@@ -223,7 +236,9 @@ TEST(HealthMonitor, EscalatesToLostAndRecovers)
 TEST(HealthMonitor, RecoveryLatencyIsBounded)
 {
     // After a fault burst ends, the monitor must return to Ok within
-    // recoveryOkFrames clean frames — never more.
+    // lostProbationFrames + recoveryOkFrames clean frames — never
+    // more (the passive LOST exit serves probation first, then the
+    // recovery clock runs).
     HealthConfig health = enabledHealth();
     health.probeConfirm = false;
     HealthMonitor monitor(health);
@@ -233,14 +248,16 @@ TEST(HealthMonitor, RecoveryLatencyIsBounded)
         monitor.assess(cleanAssess(0.9)); // long fault burst, Lost
     EXPECT_EQ(monitor.state(), HealthState::Lost);
 
+    const u32 bound =
+        health.lostProbationFrames + health.recoveryOkFrames;
     u32 frames_to_ok = 0;
     while (monitor.state() != HealthState::Ok) {
         monitor.assess(cleanAssess());
         ++frames_to_ok;
-        ASSERT_LE(frames_to_ok, health.recoveryOkFrames)
+        ASSERT_LE(frames_to_ok, bound)
             << "recovery latency exceeded the configured bound";
     }
-    EXPECT_EQ(frames_to_ok, health.recoveryOkFrames);
+    EXPECT_EQ(frames_to_ok, bound);
 }
 
 TEST(HealthMonitor, PoseJumpTriggersSuspect)

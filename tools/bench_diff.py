@@ -7,19 +7,27 @@ Usage:
 The committed file records the perf trajectory the repo promises;
 this script fails (exit 1) when the fresh run regresses it:
 
-  * speedup-type fields (``*speedup*``) may not fall below
-    ``committed / 1.15`` — a >15% relative wall-clock regression of
-    the ratio the field tracks;
-  * quality-type fields (error bounds, diffs against ground truth)
+  * speedup-type fields (``*speedup*``) and larger-is-better fields
+    (``*psnr_db``) may not fall below ``committed / 1.15`` — a >15%
+    relative regression of the ratio or quality the field tracks;
+  * quality-type fields (error bounds, ATE, reacquisition latency)
     may not *grow* beyond ``committed * 1.15 + eps`` — approximation
-    error is part of the contract, not a tunable;
+    error and recovery behavior are part of the contract, not a
+    tunable;
   * boolean gates recorded as ``true`` in the committed file must
     still be ``true``.
+
+Nested objects are flattened into dotted keys before comparison, and
+lists whose elements carry a ``"name"`` field are keyed by it — so a
+per-scenario record gates as ``scenarios.clean.ate_rmse`` no matter
+where it sits in the array. Quality/floor classification matches on
+the LEAF field name, so the same rules apply at any nesting depth.
 
 Absolute millisecond fields are reported for context but never
 gated: they measure the host, not the code. Fields present in only
 one file are reported as informational (the committed file is
-allowed to lag a PR that adds new fields).
+allowed to lag a PR that adds new fields). Negative committed values
+are sentinels ("no measurement") and are never gated either.
 """
 
 import json
@@ -35,6 +43,10 @@ QUALITY_KEYS = {
     "backward_rtgs_vs_f64_truth",
     "fastest_approx_psnr_drop_db",
 }
+# Leaf-name suffixes classified as quality (smaller is better) or as
+# floor-gated (larger is better) wherever they appear in the tree.
+QUALITY_SUFFIXES = ("ate_rmse", "reacquire_frames")
+FLOOR_SUFFIXES = ("psnr_db",)
 # Relative slack on gated comparisons (15%, per the CI contract), plus
 # an absolute epsilon so zero-valued quality fields tolerate noise.
 SLACK = 1.15
@@ -46,20 +58,50 @@ def load(path):
         return json.load(fh)
 
 
-def is_speedup(key):
-    return "speedup" in key
+def flatten(value, prefix=""):
+    """Flatten nested dicts/lists into {dotted_key: scalar}.
+
+    Lists of dicts that all carry a "name" field are keyed by that
+    name (order-independent); other lists are keyed by index.
+    """
+    out = {}
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            dotted = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(sub, dotted))
+    elif isinstance(value, list):
+        named = all(isinstance(e, dict) and "name" in e for e in value)
+        for idx, element in enumerate(value):
+            label = element["name"] if named else str(idx)
+            dotted = f"{prefix}.{label}" if prefix else str(label)
+            if named:
+                element = {k: v for k, v in element.items()
+                           if k != "name"}
+            out.update(flatten(element, dotted))
+    else:
+        out[prefix] = value
+    return out
+
+
+def leaf(key):
+    return key.rsplit(".", 1)[-1]
+
+
+def is_floor_gated(key):
+    return "speedup" in leaf(key) or leaf(key).endswith(FLOOR_SUFFIXES)
 
 
 def is_quality(key):
-    return key in QUALITY_KEYS
+    return leaf(key) in QUALITY_KEYS or leaf(key).endswith(
+        QUALITY_SUFFIXES)
 
 
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip().splitlines()[2].strip())
         return 2
-    committed = load(argv[1])
-    fresh = load(argv[2])
+    committed = flatten(load(argv[1]))
+    fresh = flatten(load(argv[2]))
 
     failures = []
     notes = []
@@ -77,14 +119,18 @@ def main(argv):
             if old != new:
                 notes.append(f"  ~ {key}: {old!r} -> {new!r}")
             continue
-        if is_speedup(key):
+        if old < 0:
+            # Negative committed values are "no measurement" sentinels
+            # (e.g. a scenario without a post-fault tail window).
+            notes.append(f"  info  {key}: {old} -> {new} (sentinel)")
+            continue
+        if is_floor_gated(key):
             floor = old / SLACK
-            marker = "FAIL" if new < floor else "ok"
             line = f"{key}: {old:.3f} -> {new:.3f} (floor {floor:.3f})"
             if new < floor:
                 failures.append(line)
             else:
-                notes.append(f"  {marker}  {line}")
+                notes.append(f"  ok  {line}")
         elif is_quality(key):
             ceil = old * SLACK + EPS
             line = f"{key}: {old:.3g} -> {new:.3g} (ceil {ceil:.3g})"
