@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal fire-and-forget execution interface.
+ *
+ * Components that spawn background work (the asynchronous mapping
+ * drain, the fleet scheduler's session turns) depend on this interface
+ * instead of a concrete pool, so the SAME code can run on the
+ * process-global ThreadPool (the single-session default) or on a
+ * fleet-owned work-stealing executor that multiplexes many sessions
+ * over one set of worker threads. Decoupling the map drain from
+ * globalPool() is what lets one executor drive tracking AND mapping
+ * for N sessions (src/slam/fleet_runtime.hh).
+ */
+
+#ifndef RTGS_COMMON_EXECUTOR_HH
+#define RTGS_COMMON_EXECUTOR_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace rtgs
+{
+
+/**
+ * Something that runs posted tasks, eventually, on some thread.
+ *
+ * Contract:
+ *  - post() never blocks on the posted task and never runs it
+ *    re-entrantly on the calling stack while workers exist (an
+ *    executor with zero workers, or one that is shutting down, may
+ *    degrade to caller-inline execution).
+ *  - Tasks must not throw.
+ *  - A push that happens-before post() returns happens-before the
+ *    task body runs (implementations synchronize internally).
+ *
+ * Implementations must outlive every component holding a pointer to
+ * them (the SlamSystem/MapWorker they were injected into).
+ */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    /** Enqueue a task for asynchronous execution (fire-and-forget). */
+    virtual void post(std::function<void()> task) = 0;
+
+    /** Threads serving posted tasks (0 = caller-inline fallback). */
+    virtual size_t workerCount() const = 0;
+};
+
+} // namespace rtgs
+
+#endif // RTGS_COMMON_EXECUTOR_HH

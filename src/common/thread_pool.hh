@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/annotations.hh"
+#include "common/executor.hh"
 #include "common/mutex.hh"
 
 namespace rtgs
@@ -33,8 +34,10 @@ namespace rtgs
 /**
  * Fixed-size worker pool. Tasks are std::function<void()>; parallelFor
  * blocks the caller until all chunks complete (helping to run them).
+ * Implements Executor through post(), so pool-agnostic components (the
+ * async map drain) can be pointed at it or at a fleet executor alike.
  */
-class ThreadPool
+class ThreadPool : public Executor
 {
   public:
     /**
@@ -43,13 +46,15 @@ class ThreadPool
      * @param num_threads Worker count; 0 selects hardware concurrency.
      */
     explicit ThreadPool(size_t num_threads = 0);
-    ~ThreadPool();
+    ~ThreadPool() override;
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Number of worker threads. */
     size_t size() const { return workers_.size(); }
+
+    size_t workerCount() const override { return workers_.size(); }
 
     /** True when the calling thread is one of this pool's workers. */
     bool onWorkerThread() const;
@@ -82,7 +87,7 @@ class ThreadPool
      * allocation. The task must not throw. Used by the asynchronous
      * mapping stage, which tracks completion itself.
      */
-    void post(std::function<void()> task);
+    void post(std::function<void()> task) override;
 
   private:
     void workerLoop();

@@ -1,0 +1,196 @@
+#include "slam/fleet_executor.hh"
+
+namespace rtgs::slam
+{
+
+namespace
+{
+/** Which FleetExecutor (if any) owns the calling thread. */
+thread_local FleetExecutor *tl_executor = nullptr;
+thread_local size_t tl_worker_index = 0;
+} // namespace
+
+FleetExecutor::FleetExecutor(size_t workers, bool start_paused)
+{
+    size_t count = workers == 0 ? 1 : workers;
+    queues_.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        queues_.push_back(std::make_unique<WorkStealingQueue<Task>>());
+    {
+        MutexLock lock(mutex_);
+        started_ = !start_paused;
+    }
+    workers_.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+FleetExecutor::~FleetExecutor()
+{
+    {
+        MutexLock lock(mutex_);
+        // A paused executor still owes its staged tasks an execution:
+        // releasing the workers lets them drain the queues before the
+        // stop flag retires them (a worker only exits on an
+        // empty-everywhere scan, and stopping_ redirects new posts
+        // inline, so queue contents strictly shrink from here).
+        started_ = true;
+        stopping_ = true;
+    }
+    wakeCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+FleetExecutor::start()
+{
+    {
+        MutexLock lock(mutex_);
+        started_ = true;
+    }
+    wakeCv_.notify_all();
+}
+
+void
+FleetExecutor::post(Task task)
+{
+    size_t index = 0;
+    {
+        MutexLock lock(mutex_);
+        // Teardown fallback: a task posted by a task still running
+        // during shutdown executes on the poster's stack instead of
+        // being lost (postTo re-checks and does the same).
+        if (stopping_)
+            index = ~size_t(0);
+        else {
+            index = nextQueue_;
+            nextQueue_ = (nextQueue_ + 1) % queues_.size();
+        }
+    }
+    if (index == ~size_t(0)) {
+        task();
+        return;
+    }
+    postTo(index, std::move(task));
+}
+
+void
+FleetExecutor::postTo(size_t queue, Task task)
+{
+    bool inline_run = false;
+    {
+        MutexLock lock(mutex_);
+        inline_run = stopping_;
+        if (!inline_run)
+            ++posted_;
+    }
+    if (inline_run) {
+        task();
+        return;
+    }
+    queues_[queue % queues_.size()]->push(std::move(task));
+    {
+        MutexLock lock(mutex_);
+        ++postVersion_;
+    }
+    wakeCv_.notify_one();
+}
+
+void
+FleetExecutor::postLocal(Task task)
+{
+    if (tl_executor == this)
+        postTo(tl_worker_index, std::move(task));
+    else
+        post(std::move(task));
+}
+
+bool
+FleetExecutor::onWorkerThread() const
+{
+    return tl_executor == this;
+}
+
+void
+FleetExecutor::drain()
+{
+    CvLock lock(mutex_);
+    while (completed_ != posted_)
+        lock.wait(drainCv_);
+}
+
+size_t
+FleetExecutor::steals() const
+{
+    MutexLock lock(mutex_);
+    return static_cast<size_t>(steals_);
+}
+
+size_t
+FleetExecutor::tasksPosted() const
+{
+    MutexLock lock(mutex_);
+    return static_cast<size_t>(posted_);
+}
+
+size_t
+FleetExecutor::tasksCompleted() const
+{
+    MutexLock lock(mutex_);
+    return static_cast<size_t>(completed_);
+}
+
+bool
+FleetExecutor::takeTask(size_t self, Task &out)
+{
+    if (queues_[self]->pop(out))
+        return true;
+    for (size_t k = 1; k < queues_.size(); ++k) {
+        size_t victim = (self + k) % queues_.size();
+        if (queues_[victim]->steal(out)) {
+            MutexLock lock(mutex_);
+            ++steals_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+FleetExecutor::workerLoop(size_t self)
+{
+    tl_executor = this;
+    tl_worker_index = self;
+    for (;;) {
+        u64 seen = 0;
+        {
+            CvLock lock(mutex_);
+            while (!started_)
+                lock.wait(wakeCv_);
+            // Read the version BEFORE scanning: a post that lands
+            // after an unsuccessful scan necessarily bumps the
+            // version past `seen`, so the sleep check below cannot
+            // miss it (push happens-before the bump).
+            seen = postVersion_;
+        }
+        Task task;
+        if (takeTask(self, task)) {
+            task();
+            task = nullptr; // release captures before signalling
+            {
+                MutexLock lock(mutex_);
+                ++completed_;
+                drainCv_.notify_all();
+            }
+            continue;
+        }
+        CvLock lock(mutex_);
+        if (stopping_)
+            return; // all queues empty and no new pushes can arrive
+        while (postVersion_ == seen && !stopping_)
+            lock.wait(wakeCv_);
+    }
+}
+
+} // namespace rtgs::slam

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The fleet's shared work-stealing executor: one fixed set of worker
+ * threads serving tasks from per-worker queues, with idle workers
+ * stealing from busy ones. FleetRuntime posts session "turns"
+ * (bounded slices of one session's frame queue) and MapWorker posts
+ * its drain loops here, so a single thread set drives tracking AND
+ * mapping for N concurrent SLAM sessions.
+ *
+ * Dequeue discipline — fairness first, deliberately NOT the classic
+ * Chase-Lev LIFO-owner deque: both the owning worker (pop) and
+ * thieves (steal) take the OLDEST task. A scheduler multiplexing
+ * sessions wants the longest-waiting turn served next no matter which
+ * thread frees up; LIFO owner-ends optimise cache locality for
+ * fork-join trees, which is not this workload. The payoff is a strong
+ * invariant the property tests pin: tasks leave each queue in exactly
+ * push order, regardless of how owner pops and steals interleave — so
+ * weighted round-robin ordering survives stealing.
+ *
+ * Progress guarantee: turns are quantum-bounded (a turn processes at
+ * most `weight` frames, then requeues itself at the BACK of its
+ * worker's queue), so a posted task — in particular a MapWorker drain
+ * — is never starved behind an unbounded task. The one blocking hole
+ * (a Block-policy map enqueue stalling a worker on a full queue whose
+ * drain sits behind it) is closed by FleetRuntime forcing a watchdog
+ * on fleet-hosted Block-policy sessions.
+ *
+ * Determinism: the executor only decides WHERE work runs, never its
+ * result. Session turns serialize per session (FleetRuntime's
+ * at-most-one-turn flag), and all rendering is bitwise
+ * worker-count-independent, so fleet outputs are byte-identical
+ * across worker counts and to standalone runs.
+ */
+
+#ifndef RTGS_SLAM_FLEET_EXECUTOR_HH
+#define RTGS_SLAM_FLEET_EXECUTOR_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/annotations.hh"
+#include "common/executor.hh"
+#include "common/mutex.hh"
+#include "common/types.hh"
+
+namespace rtgs::slam
+{
+
+/**
+ * One worker's task queue. Producers push at the back; the owner
+ * (pop) and thieves (steal) both dequeue at the front — strict FIFO
+ * per queue (see the file comment for why fairness beats locality
+ * here). Internally synchronized; safe from any thread.
+ *
+ * Invariants (pinned by tests/test_properties.cc):
+ *  - merge of all pop()/steal() results == push order, exactly;
+ *  - every pushed item is dequeued at most once (no duplication) and,
+ *    once the consumers drain to empty, at least once (no loss);
+ *  - steal() takes the queue's oldest item (starved-first stealing).
+ */
+template <typename T>
+class WorkStealingQueue
+{
+  public:
+    /** Enqueue at the back (any thread). */
+    void
+    push(T item)
+    {
+        MutexLock lock(mutex_);
+        items_.push_back(std::move(item));
+    }
+
+    /** Owner dequeue: the oldest item. False when empty. */
+    bool pop(T &out) { return takeFront(out); }
+
+    /** Thief dequeue: also the oldest item. False when empty. */
+    bool steal(T &out) { return takeFront(out); }
+
+    size_t
+    size() const
+    {
+        MutexLock lock(mutex_);
+        return items_.size();
+    }
+
+    bool
+    empty() const
+    {
+        MutexLock lock(mutex_);
+        return items_.empty();
+    }
+
+  private:
+    bool
+    takeFront(T &out)
+    {
+        MutexLock lock(mutex_);
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    mutable Mutex mutex_;
+    std::deque<T> items_ RTGS_GUARDED_BY(mutex_);
+};
+
+/**
+ * Fixed set of worker threads over per-worker WorkStealingQueues.
+ *
+ * post() distributes round-robin across the queues; postTo() pins a
+ * task to one queue (the runtime uses postLocal() to requeue a
+ * session's next turn on the current worker). An idle worker first
+ * pops its own queue, then scans the others in ring order and steals
+ * their oldest task; with nothing anywhere it sleeps until the next
+ * post. Lock order: a queue's internal mutex is never held while
+ * taking mutex_, and mutex_ is never held across a task body.
+ *
+ * start_paused stages work without running it (burst tests and the
+ * bench's bursty-arrival setup): workers sleep until start(). The
+ * destructor runs everything still queued, then joins.
+ */
+class FleetExecutor : public Executor
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param workers number of threads (>= 1 enforced)
+     *  @param start_paused workers sleep until start() */
+    explicit FleetExecutor(size_t workers, bool start_paused = false);
+    ~FleetExecutor() override;
+
+    FleetExecutor(const FleetExecutor &) = delete;
+    FleetExecutor &operator=(const FleetExecutor &) = delete;
+
+    /** Release paused workers. Idempotent. */
+    void start();
+
+    /** Round-robin dispatch. After shutdown begins (or from a task
+     *  running during teardown) the task runs inline instead. */
+    void post(Task task) override;
+
+    /** Pin a task to queue `queue` (< workerCount()). Same inline
+     *  fallback during shutdown. */
+    void postTo(size_t queue, Task task);
+
+    /** postTo(current worker's queue) when called on a worker —
+     *  keeping a requeued turn local — else post(). */
+    void postLocal(Task task);
+
+    size_t workerCount() const override { return workers_.size(); }
+
+    /** True when the calling thread is one of this executor's. */
+    bool onWorkerThread() const;
+
+    /** Block until every task posted so far has finished. Do not call
+     *  while paused with tasks staged (they cannot finish), or from a
+     *  worker (a task cannot wait for itself). */
+    void drain() RTGS_EXCLUDES(mutex_);
+
+    /** Tasks a worker took from another worker's queue. */
+    size_t steals() const;
+
+    /** Tasks posted / completed so far (observability). */
+    size_t tasksPosted() const;
+    size_t tasksCompleted() const;
+
+  private:
+    void workerLoop(size_t self);
+    /** Own queue first, then steal in ring order. */
+    bool takeTask(size_t self, Task &out);
+
+    /** Immutable after construction (the vector; queues are
+     *  internally synchronized). */
+    std::vector<std::unique_ptr<WorkStealingQueue<Task>>> queues_;
+    /** Immutable after construction (joined in the destructor). */
+    std::vector<std::thread> workers_;
+
+    /** Guards the scheduling state below. Never held across a task
+     *  body or a queue operation that could block. */
+    mutable Mutex mutex_;
+    std::condition_variable wakeCv_;  //!< workers sleep here
+    std::condition_variable drainCv_; //!< drain() sleeps here
+    bool started_ RTGS_GUARDED_BY(mutex_) = true;
+    bool stopping_ RTGS_GUARDED_BY(mutex_) = false;
+    /** Bumped per post; the sleep/wake version check (a worker only
+     *  sleeps if no post landed since it began its empty scan). */
+    u64 postVersion_ RTGS_GUARDED_BY(mutex_) = 0;
+    size_t nextQueue_ RTGS_GUARDED_BY(mutex_) = 0;
+    u64 posted_ RTGS_GUARDED_BY(mutex_) = 0;
+    u64 completed_ RTGS_GUARDED_BY(mutex_) = 0;
+    u64 steals_ RTGS_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace rtgs::slam
+
+#endif // RTGS_SLAM_FLEET_EXECUTOR_HH

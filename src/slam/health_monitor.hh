@@ -262,6 +262,15 @@ class HealthMonitor
     /** Drop all history; the state returns to Ok. */
     void reset();
 
+    /**
+     * Hand the monitor to another thread WITHOUT losing state: forget
+     * the bound thread so the next call binds the new one. Legal only
+     * between frames with a happens-before edge from the old thread's
+     * last touch (the fleet scheduler's turn hand-off provides it);
+     * the recovery state machine carries across unchanged.
+     */
+    void rebindThread() { affinity_.rebind(); }
+
   private:
     void escalateSuspect() RTGS_REQUIRES(affinity_);
     void stepClean(Assessment &out) RTGS_REQUIRES(affinity_);

@@ -45,6 +45,11 @@
 #include "slam/keyframe.hh"
 #include "slam/mapper.hh"
 
+namespace rtgs
+{
+class Executor;
+}
+
 namespace rtgs::slam
 {
 
@@ -93,10 +98,16 @@ class MapWorker
      *                    push falls back to evicting the oldest job
      *                    (degrade instead of wedge); <= 0 disables
      * @param on_drop     invoked for every evicted job
+     * @param executor    where drain tasks run; null selects the
+     *                    process-global ThreadPool. A fleet runtime
+     *                    injects its shared work-stealing executor so
+     *                    one thread set drives tracking and mapping
+     *                    for every session. Must outlive this worker.
      */
     MapWorker(size_t queue_depth, size_t batch_size, RunFn run,
               OverflowPolicy policy = OverflowPolicy::Block,
-              double watchdog_seconds = 0, DropFn on_drop = nullptr);
+              double watchdog_seconds = 0, DropFn on_drop = nullptr,
+              Executor *executor = nullptr);
     ~MapWorker();
 
     MapWorker(const MapWorker &) = delete;
@@ -130,6 +141,8 @@ class MapWorker
     OverflowPolicy policy_;
     double watchdogSeconds_;
     DropFn onDrop_;
+    /** Immutable after construction; internally synchronized. */
+    Executor *executor_;
 
     /** Guards the completion ledger below. queue_'s internal mutex may
      *  be taken while statusMutex_ is held (drainLoop's atomic

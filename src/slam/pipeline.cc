@@ -153,7 +153,7 @@ SlamSystem::SlamSystem(const SlamConfig &config,
             config.mapQueueDepth, std::max<u32>(1, config.mapBatchSize),
             [this](std::vector<MapJob> &jobs) { runMapBatch(jobs); },
             config.mapOverflowPolicy, config.mapWatchdogSeconds,
-            std::move(on_drop));
+            std::move(on_drop), config.mapExecutor);
     }
 
     if (config.health.enabled)
@@ -230,6 +230,15 @@ void
 SlamSystem::setRenderPool(ThreadPool *pool)
 {
     pipeline_.setPool(pool);
+}
+
+void
+SlamSystem::rebindFrameLoopThread()
+{
+    if (health_)
+        health_->rebindThread();
+    if (reloc_)
+        reloc_->rebindThread();
 }
 
 bool

@@ -118,6 +118,15 @@ struct SlamConfig
     double mapWatchdogSeconds = 0;
 
     /**
+     * Executor the async map drain runs on. Null (the default) selects
+     * the process-global ThreadPool — the single-session behaviour.
+     * FleetRuntime injects its shared work-stealing executor here so
+     * one thread set serves tracking and mapping for every session.
+     * Non-owning; must outlive the SlamSystem. Ignored in sync mode.
+     */
+    Executor *mapExecutor = nullptr;
+
+    /**
      * Tracking-health monitoring (input validation, divergence
      * detection, escalating recovery). Disabled by default; on a
      * fault-free stream an enabled monitor never intervenes, so the
@@ -418,6 +427,20 @@ class SlamSystem
      * counts); all rendering outputs are bitwise pool-size-independent.
      */
     void setRenderPool(ThreadPool *pool);
+
+    /**
+     * Hand the frame loop off to a different thread. The frame-loop
+     * state (trajectory, keyframe policy, tracking clone) carries no
+     * lock, and the health monitor / relocalizer are pinned to one
+     * thread by a ThreadAffinity capability — a fleet scheduler that
+     * migrates a session's turns across workers calls this at the
+     * start of each turn so the thread-affine state follows the turn
+     * instead of panicking. Legal ONLY between frames, from a thread
+     * that is (or is becoming) the sole caller of processFrame(), with
+     * a happens-before edge from the previous frame (the fleet's
+     * scheduler mutex provides it). State is preserved, not reset.
+     */
+    void rebindFrameLoopThread();
 
     /**
      * Block until every enqueued mapping job has completed and every

@@ -250,6 +250,14 @@ class Relocalizer
     /** Drop all state; the documented thread hand-off point. */
     void reset();
 
+    /**
+     * Hand the relocalizer to another thread WITHOUT dropping the
+     * keyframe database or backoff schedule (unlike reset()). Same
+     * legality rules as HealthMonitor::rebindThread(): between frames
+     * only, with a happens-before edge from the previous owner.
+     */
+    void rebindThread() { affinity_.rebind(); }
+
   private:
     /** Binds to the frame loop on first use; see the class comment. */
     ThreadAffinity affinity_;

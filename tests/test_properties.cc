@@ -8,13 +8,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "common/rng.hh"
 #include "core/downsampling.hh"
 #include "gs/render_pipeline.hh"
 #include "hw/rtgs_model.hh"
 #include "hw/trace.hh"
+#include "slam/fleet_executor.hh"
 
 namespace rtgs
 {
@@ -248,5 +253,137 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, DownsampleProperty,
     ::testing::Combine(::testing::Values(1.5, 2.0, 3.0),
                        ::testing::Values(1.0 / 32, 1.0 / 16, 1.0 / 8)));
+
+// ---------------------------------------------------------------- //
+//              Fleet work-stealing scheduler invariants            //
+// ---------------------------------------------------------------- //
+
+class FleetStealQueueProperty : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(FleetStealQueueProperty, SingleThreadDequeueIsExactPushOrder)
+{
+    // The fairness-first discipline (fleet_executor.hh): no matter how
+    // owner pops and thief steals interleave, items leave the queue in
+    // exactly push order — steal() must take the OLDEST, not the
+    // newest, or weighted round-robin would not survive stealing.
+    Rng rng(GetParam());
+    slam::WorkStealingQueue<int> queue;
+    std::vector<int> out;
+    int next = 0;
+    for (int step = 0; step < 400; ++step) {
+        switch (rng.uniformInt(3)) {
+        case 0:
+            queue.push(next++);
+            break;
+        case 1: {
+            int got = -1;
+            if (queue.pop(got))
+                out.push_back(got);
+            break;
+        }
+        default: {
+            int got = -1;
+            if (queue.steal(got))
+                out.push_back(got);
+            break;
+        }
+        }
+    }
+    for (int got = -1; queue.pop(got);)
+        out.push_back(got);
+    ASSERT_EQ(static_cast<size_t>(next), out.size()) << "lost items";
+    for (int i = 0; i < next; ++i)
+        ASSERT_EQ(i, out[i]) << "dequeue order diverged from push order";
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST_P(FleetStealQueueProperty, ConcurrentConsumersNeverLoseOrDuplicate)
+{
+    // One owner (pushing and popping, as an executor worker does) and
+    // two thieves race on the queue: every pushed item must come out
+    // exactly once, and — because every dequeue takes the current
+    // oldest — each consumer's local sequence is strictly increasing.
+    constexpr int kItems = 500;
+    slam::WorkStealingQueue<int> queue;
+    std::vector<int> owner_got, thief_got[2];
+    u64 seed = GetParam();
+
+    std::thread owner([&] {
+        Rng rng(seed);
+        int next = 0;
+        while (next < kItems) {
+            queue.push(next++);
+            if (rng.uniformInt(3) == 0) {
+                int got = -1;
+                if (queue.pop(got))
+                    owner_got.push_back(got);
+            }
+        }
+    });
+    std::thread thieves[2];
+    std::atomic<bool> stop{false};
+    for (int t = 0; t < 2; ++t) {
+        thieves[t] = std::thread([&, t] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                int got = -1;
+                if (queue.steal(got))
+                    thief_got[t].push_back(got);
+                else
+                    std::this_thread::yield();
+            }
+        });
+    }
+    owner.join();
+    // Let the thieves drain whatever the owner left behind.
+    while (!queue.empty())
+        std::this_thread::yield();
+    stop.store(true);
+    thieves[0].join();
+    thieves[1].join();
+
+    std::vector<int> all;
+    for (const auto *seq : {&owner_got, &thief_got[0], &thief_got[1]}) {
+        for (size_t i = 1; i < seq->size(); ++i)
+            ASSERT_LT((*seq)[i - 1], (*seq)[i])
+                << "consumer saw items out of FIFO order";
+        all.insert(all.end(), seq->begin(), seq->end());
+    }
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(static_cast<size_t>(kItems), all.size())
+        << "items lost or duplicated";
+    for (int i = 0; i < kItems; ++i)
+        ASSERT_EQ(i, all[static_cast<size_t>(i)]);
+}
+
+TEST_P(FleetStealQueueProperty, ExecutorRunsEveryTaskExactlyOnce)
+{
+    // Randomised post()/postTo() mix against a live executor: no task
+    // is lost or run twice regardless of how workers pop and steal.
+    Rng rng(GetParam() ^ 0x5EED);
+    slam::FleetExecutor exec(3);
+    constexpr size_t kTasks = 200;
+    std::vector<std::atomic<int>> runs(kTasks);
+    for (auto &r : runs)
+        r.store(0);
+    for (size_t i = 0; i < kTasks; ++i) {
+        auto task = [&runs, i] {
+            runs[i].fetch_add(1, std::memory_order_relaxed);
+        };
+        if (rng.uniformInt(2) == 0)
+            exec.post(task);
+        else
+            exec.postTo(rng.uniformInt(exec.workerCount()), task);
+    }
+    exec.drain();
+    for (size_t i = 0; i < kTasks; ++i)
+        ASSERT_EQ(1, runs[i].load()) << "task " << i;
+    EXPECT_EQ(kTasks, exec.tasksPosted());
+    EXPECT_EQ(kTasks, exec.tasksCompleted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FleetStealQueueProperty,
+                         ::testing::Values(1u, 7u, 42u, 1337u));
 
 } // namespace rtgs

@@ -47,10 +47,18 @@ into mechanical checks over the source tree:
                         faithfully-rounded exp is the sanctioned,
                         marker-delimited exception.
   tsan-filter           Every test file that uses ThreadPool /
-                        MapWorker / BoundedQueue must have at least one
-                        test matched by the thread-sanitizer job's
-                        --gtest_filter allowlist in ci.yml, so new
-                        concurrency tests cannot silently dodge TSan.
+                        MapWorker / BoundedQueue / FleetExecutor /
+                        FleetRuntime / WorkStealingQueue must have at
+                        least one test matched by the thread-sanitizer
+                        job's --gtest_filter allowlist in ci.yml, so
+                        new concurrency tests cannot silently dodge
+                        TSan.
+  global-pool           No globalPool() reference in the fleet layer
+                        (src/slam/fleet_*): fleet code must run on the
+                        injected shared executor; reaching for the
+                        process-global pool reintroduces the hidden
+                        cross-session coupling the fleet exists to
+                        remove.
 
 Escapes (sparingly, with a reason in the surrounding comment):
 
@@ -92,6 +100,7 @@ ALL_RULES = (
     "cow-raw-access",
     "double-accum",
     "tsan-filter",
+    "global-pool",
 )
 
 
@@ -222,6 +231,8 @@ MONO_CLOCK_RE = re.compile(r"\b(steady_clock|high_resolution_clock)\b")
 ATOMIC_FLOAT_RE = re.compile(
     r"\bstd::atomic\s*<\s*(float|double|long\s+double|Real)\s*>")
 DOUBLE_RE = re.compile(r"\bdouble\b|\b__m256d\b|_mm256_\w+_pd\b|\b_pd\b")
+GLOBAL_POOL_RE = re.compile(r"\bglobalPool\s*\(")
+FLEET_GLOB = "src/slam/fleet_*"
 
 MUTEX_DECL_RE = re.compile(r"^\s*(mutable\s+)?(rtgs::)?Mutex\s+\w+_\s*;")
 EXEMPT_MEMBER_RE = re.compile(
@@ -249,6 +260,7 @@ def lint_file(src, relpath):
     is_rng = relpath in RNG_FILES
     is_profiler = relpath in PROFILER_FILES
     is_row_kernel = fnmatch.fnmatch(relpath, ROW_KERNEL_GLOB)
+    is_fleet = fnmatch.fnmatch(relpath, FLEET_GLOB)
 
     for lineno, line in enumerate(src.code_lines, 1):
         if contracted and UNORDERED_RE.search(line):
@@ -278,6 +290,12 @@ def lint_file(src, relpath):
                 "atomic floating-point accumulator; accumulation order "
                 "depends on scheduling — reduce over fixed blocks "
                 "(ThreadPool::parallelForChunks + serial block fold)")
+        if is_fleet and GLOBAL_POOL_RE.search(line):
+            hit(lineno, "global-pool",
+                "globalPool() referenced from the fleet layer; fleet "
+                "code runs on the injected shared executor — the "
+                "process-global pool would couple sessions behind the "
+                "scheduler's back")
         if is_row_kernel and DOUBLE_RE.search(line):
             hit(lineno, "double-accum",
                 "double-precision arithmetic in a float row kernel; "
@@ -374,12 +392,13 @@ def check_cow_raw_access(src, relpath):
 # ---------------------------------------------------------------------
 
 CONCURRENCY_TOKEN_RE = re.compile(
-    r"\bThreadPool\b|\bMapWorker\b|\bBoundedQueue\b|\bparallelForChunks\b")
+    r"\bThreadPool\b|\bMapWorker\b|\bBoundedQueue\b|\bparallelForChunks\b|"
+    r"\bFleetExecutor\b|\bFleetRuntime\b|\bWorkStealingQueue\b")
 # Matched against the RAW text: the comment/string stripper blanks
 # include paths (they are string literals).
 CONCURRENCY_INCLUDE_RE = re.compile(
     r'#include\s+"(common/thread_pool|common/bounded_queue|'
-    r'slam/map_worker)\.hh"')
+    r'slam/map_worker|slam/fleet_executor|slam/fleet_runtime)\.hh"')
 TEST_DECL_RE = re.compile(
     r"\bTEST(?:_F|_P)?\s*\(\s*([A-Za-z_]\w*)\s*,\s*([A-Za-z_]\w*)")
 GTEST_FILTER_RE = re.compile(r"--gtest_filter=['\"]?([^'\"\s]+)")
@@ -542,6 +561,17 @@ SELFTEST_TEST_UNCOVERED = """
 TEST(NewRaceSuite, StressesTheQueue) {}
 """
 
+SELFTEST_CI_FLEET = """
+  thread-sanitizer:
+    steps:
+      - run: ./rtgs_tests --gtest_filter='ThreadPool.*:FleetRuntime.*'
+"""
+
+SELFTEST_TEST_FLEET = """
+#include "slam/fleet_runtime.hh"
+TEST(FleetRuntime, SessionsStayIsolated) {}
+"""
+
 
 def run_self_test(root):
     fixture_dir = os.path.join(root, "tools", "lint_fixtures")
@@ -583,7 +613,19 @@ def run_self_test(root):
                               {"tests/test_bad.cc": SELFTEST_TEST_UNCOVERED})
     if not any(f.rule == "tsan-filter" for f in bad):
         failures.append("tsan-filter: missed an uncovered test file")
-    checked += 2
+    # The fleet tokens joined the concurrency allowlist: a fleet test
+    # file must be flagged when absent from the filter and pass when
+    # its suite is listed.
+    fleet_bad = check_tsan_coverage(
+        SELFTEST_CI_OK, {"tests/test_fleet.cc": SELFTEST_TEST_FLEET})
+    if not any(f.rule == "tsan-filter" for f in fleet_bad):
+        failures.append("tsan-filter: missed an uncovered fleet test file")
+    fleet_ok = check_tsan_coverage(
+        SELFTEST_CI_FLEET, {"tests/test_fleet.cc": SELFTEST_TEST_FLEET})
+    if fleet_ok:
+        failures.append("tsan-filter: false positive on a covered "
+                        "fleet test file")
+    checked += 4
 
     if failures:
         for f in failures:
